@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sec. VII-C: switching the 4-bit-PE array from INT8 (bit-serial,
+ * 4 passes) to native INT4 (1 pass) should buy roughly 2.33x
+ * performance and 2.35x energy efficiency on 4-bit-capable models.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace cq;
+
+int
+main()
+{
+    bench::banner("Sec. VII-C -- INT4 vs INT8 on the 4-bit PE array",
+                  "Cambricon-Q, ISCA'21, Sec. VII-C");
+
+    const auto cfg = arch::CambriconQConfig::edge();
+    std::printf("%-14s %12s %12s %9s %9s\n", "network", "INT8 (ms)",
+                "INT4 (ms)", "speedup", "energy x");
+    bench::rule();
+
+    double geo_perf = 1.0, geo_energy = 1.0;
+    int count = 0;
+    for (const char *which : {"ResNet-18", "GoogLeNet", "SqueezeNet"}) {
+        const compiler::WorkloadIR ir =
+            std::string(which) == "ResNet-18"
+                ? compiler::buildResNet18()
+                : (std::string(which) == "GoogLeNet"
+                       ? compiler::buildGoogLeNet()
+                       : compiler::buildSqueezeNet());
+        std::fprintf(stderr, "[int4] %s...\n", which);
+
+        compiler::CodegenOptions o8;
+        o8.bits = 8;
+        compiler::CodegenOptions o4;
+        o4.bits = 4;
+        const auto r8 = bench::runCambriconQ(ir, cfg, o8);
+        const auto r4 = bench::runCambriconQ(ir, cfg, o4);
+        const double s = r8.timeMs / r4.timeMs;
+        const double e = r8.energyMj / r4.energyMj;
+        geo_perf *= s;
+        geo_energy *= e;
+        ++count;
+        std::printf("%-14s %12.2f %12.2f %8.2fx %8.2fx\n", which,
+                    r8.timeMs, r4.timeMs, s, e);
+    }
+    bench::rule();
+    std::printf("%-14s %25s %8.2fx %8.2fx   (paper: 2.33x perf, "
+                "2.35x energy)\n",
+                "geomean", "", std::pow(geo_perf, 1.0 / count),
+                std::pow(geo_energy, 1.0 / count));
+    std::printf("\nINT4 quarters the bit-serial passes and halves the "
+                "quantized traffic; memory-bound\n"
+                "phases cap the end-to-end gain below the 4x compute "
+                "peak, landing near the paper's ~2.3x.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 3: on a CPU+GPU platform, statistic-quantized training is
+ * *slower* than ordinary FP32/mixed training (1.09x~1.78x in the
+ * paper) because the GPU lacks on-the-fly statistic/quantization
+ * hardware and must round-trip through the host.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace cq;
+
+int
+main()
+{
+    bench::banner("Fig. 3 -- quantized vs FP32 training time on GPU",
+                  "Cambricon-Q, ISCA'21, Fig. 3");
+
+    const auto gpu = baseline::GpuSpec::jetsonTx2();
+    std::printf("platform: %s (%.2f TFLOPS, %.1f GB/s)\n\n",
+                gpu.name.c_str(), gpu.peakTflops, gpu.memBwGBs);
+    std::printf("%-14s %14s %14s %10s\n", "network", "FP32 (ms)",
+                "quant (ms)", "slowdown");
+    bench::rule();
+
+    double min_ratio = 1e9, max_ratio = 0.0;
+    for (const auto &ir : compiler::allBenchmarks()) {
+        const auto fp32 = baseline::simulateGpu(ir, gpu, false);
+        const auto quant = baseline::simulateGpu(ir, gpu, true);
+        const double ratio = quant.timeMs / fp32.timeMs;
+        min_ratio = std::min(min_ratio, ratio);
+        max_ratio = std::max(max_ratio, ratio);
+        std::printf("%-14s %14.1f %14.1f %9.2fx\n", ir.name.c_str(),
+                    fp32.timeMs, quant.timeMs, ratio);
+    }
+    bench::rule();
+    std::printf("slowdown band: %.2fx .. %.2fx  (paper: 1.09x .. "
+                "1.78x)\n",
+                min_ratio, max_ratio);
+    std::printf("\nthe host round trip per statistic (%.2f ms) and the "
+                "extra statistic/quantization kernels\n"
+                "erase the benefit of INT8 arithmetic -- the paper's "
+                "motivation for hardware support.\n",
+                gpu.hostQuantMs);
+    return 0;
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the software kernels the
+ * repository is built on: streaming statistics, LDQ / E2BQM
+ * quantization, GEMM, the bit-serial PE datapath, the NDPO update and
+ * the DRAM controller's transfer hot path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/ndp_engine.h"
+#include "arch/pe_array.h"
+#include "common/rng.h"
+#include "dram/dram_controller.h"
+#include "nn/optimizer.h"
+#include "quant/block_quant.h"
+#include "quant/e2bqm.h"
+#include "quant/statistics.h"
+#include "tensor/tensor_ops.h"
+
+using namespace cq;
+
+namespace {
+
+Tensor
+gradientTensor(std::size_t n)
+{
+    Rng rng(7);
+    Tensor x({n});
+    x.fillGaussian(rng, 0.0f, 0.01f);
+    return x;
+}
+
+void
+BM_MaxAbsStat(benchmark::State &state)
+{
+    const Tensor x = gradientTensor(1 << 16);
+    for (auto _ : state) {
+        quant::MaxAbsStat stat;
+        for (std::size_t i = 0; i < x.numel(); ++i)
+            stat.observe(x[i]);
+        benchmark::DoNotOptimize(stat.value());
+    }
+    state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_MaxAbsStat);
+
+void
+BM_LdqQuantize(benchmark::State &state)
+{
+    const Tensor x = gradientTensor(1 << 16);
+    for (auto _ : state) {
+        auto q = quant::ldqQuantize(x, state.range(0), 8);
+        benchmark::DoNotOptimize(q.levels().data());
+    }
+    state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LdqQuantize)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_E2bqm4Way(benchmark::State &state)
+{
+    const Tensor x = gradientTensor(4096);
+    const auto cfg = quant::E2bqmConfig::clippingLadder(8);
+    for (auto _ : state) {
+        auto r = quant::e2bqmQuantize(x, cfg);
+        benchmark::DoNotOptimize(r.selected);
+    }
+    state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_E2bqm4Way);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const std::size_t n = state.range(0);
+    Rng rng(3);
+    Tensor a({n, n}), b({n, n});
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    b.fillGaussian(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_BitSerialMultiply(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<std::int32_t> a(4096), b(4096);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = static_cast<std::int32_t>(rng.below(255)) - 127;
+        b[i] = static_cast<std::int32_t>(rng.below(255)) - 127;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            arch::PeArray::dotProduct(a, 8, b, 8));
+    }
+    state.SetItemsProcessed(state.iterations() * a.size());
+}
+BENCHMARK(BM_BitSerialMultiply);
+
+void
+BM_NdpoUpdate(benchmark::State &state)
+{
+    nn::OptimizerConfig cfg;
+    cfg.kind = nn::OptimizerKind::Adam;
+    arch::NdpEngine ndp;
+    ndp.configure(nn::NdpoConstants::fromConfig(cfg));
+    std::vector<float> w(1 << 16, 0.5f), m(1 << 16, 0.0f),
+        v(1 << 16, 0.0f), g(1 << 16, 0.01f);
+    for (auto _ : state) {
+        ndp.weightGradientStore(w, m, v, g);
+        benchmark::DoNotOptimize(w.data());
+    }
+    state.SetItemsProcessed(state.iterations() * w.size());
+}
+BENCHMARK(BM_NdpoUpdate);
+
+void
+BM_DramSequentialTransfer(benchmark::State &state)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    Tick t = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        t = ctrl.transfer(t, addr, 1 << 16, false);
+        addr += 1 << 16;
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetBytesProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_DramSequentialTransfer);
+
+void
+BM_DramNdpUpdate(benchmark::State &state)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    Tick t = 0;
+    for (auto _ : state) {
+        t = ctrl.ndpUpdate(t, 0, 1 << 14, 4);
+        benchmark::DoNotOptimize(t);
+    }
+    state.SetItemsProcessed(state.iterations() * (1 << 14));
+}
+BENCHMARK(BM_DramNdpUpdate);
+
+} // namespace
+
+BENCHMARK_MAIN();

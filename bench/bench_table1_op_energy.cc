@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table I: per-operation energy and relative costs of different
+ * bit-width operations at 45 nm. The energy model's constants are
+ * printed next to the paper's values; the relative-cost column is
+ * recomputed against the INT8 ADD baseline exactly as the paper does.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "energy/energy_model.h"
+
+using namespace cq;
+
+namespace {
+
+struct Row
+{
+    const char *bitwidth;
+    const char *operation;
+    double ours;     // pJ
+    double paper;    // pJ (Table I; mid of ranges for DRAM)
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace energy::op;
+    bench::banner("Table I -- energy of operations (45 nm)",
+                  "Cambricon-Q, ISCA'21, Table I");
+
+    const Row rows[] = {
+        {"32-bit", "FP ADD", kFp32Add, 0.9},
+        {"32-bit", "FP MUL", kFp32Mul, 3.7},
+        {"32-bit", "INT ADD", kInt32Add, 0.1},
+        {"32-bit", "INT MUL", kInt32Mul, 3.1},
+        {"32-bit", "DRAM access (avg)", dramAccess(32), 975.0},
+        {"16-bit", "FP ADD", kFp16Add, 0.4},
+        {"16-bit", "FP MUL", kFp16Mul, 1.1},
+        {"16-bit", "INT ADD", kInt16Add, 0.05},
+        {"16-bit", "INT MUL", kInt16Mul, 1.55},
+        {"16-bit", "DRAM access (avg)", dramAccess(16), 490.0},
+        {"8-bit", "INT ADD", kInt8Add, 0.03},
+        {"8-bit", "INT MUL", kInt8Mul, 0.2},
+        {"8-bit", "DRAM access (avg)", dramAccess(8), 245.0},
+    };
+
+    const double base = kInt8Add; // the paper's "relative cost 1"
+    std::printf("%-8s %-20s %12s %12s %14s\n", "width", "operation",
+                "ours (pJ)", "paper (pJ)", "rel. cost");
+    bench::rule();
+    for (const auto &r : rows) {
+        std::printf("%-8s %-20s %12.3f %12.3f %14.2f\n", r.bitwidth,
+                    r.operation, r.ours, r.paper, r.ours / base);
+    }
+    bench::rule();
+    std::printf("note: DRAM entries are mid-points of the paper's "
+                "ranges (e.g. 0.65~1.3 nJ @ 32-bit).\n");
+    return 0;
+}

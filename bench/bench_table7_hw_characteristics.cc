@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table VII: area and power of every Cambricon-Q module at 45 nm.
+ * The area/power model replaces the paper's Synopsys flow; this
+ * harness prints the modeled values, the percentage shares, and the
+ * derived claims of Sec. VI-A (extra area/power of the quantization
+ * support, NDP engine cost).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "energy/energy_model.h"
+
+using namespace cq;
+
+int
+main()
+{
+    bench::banner("Table VII -- hardware characteristics (45 nm)",
+                  "Cambricon-Q, ISCA'21, Table VII + Sec. VI-A");
+
+    const auto hw = energy::HwCharacteristics::cambriconQ();
+
+    std::printf("%-22s %10s %7s %12s %7s\n", "module", "area (mm^2)",
+                "(%)", "power (mW)", "(%)");
+    bench::rule();
+    std::printf("%-22s %10.2f %7s %12.2f %7s\n", "Acceleration Core",
+                hw.coreAreaMm2(), "100", hw.corePowerMw(), "100");
+    for (const auto &m : hw.coreModules) {
+        std::printf("  %-20s %10.2f %7.2f %12.2f %7.2f\n",
+                    m.name.c_str(), m.areaMm2,
+                    100.0 * m.areaMm2 / hw.coreAreaMm2(), m.powerMw,
+                    100.0 * m.powerMw / hw.corePowerMw());
+    }
+    std::printf("%-22s %10.2f %7s %12.2f %7s\n", "NDP Engine",
+                hw.ndpAreaMm2(), "100", hw.ndpPowerMw(), "100");
+    for (const auto &m : hw.ndpModules) {
+        std::printf("  %-20s %10.2f %7.2f %12.2f %7.2f\n",
+                    m.name.c_str(), m.areaMm2,
+                    100.0 * m.areaMm2 / hw.ndpAreaMm2(), m.powerMw,
+                    100.0 * m.powerMw / hw.ndpPowerMw());
+    }
+    bench::rule();
+
+    // Sec. VI-A derived claims: quantization support costs only
+    // 5.87% extra area (0.51 mm^2) / 13.95% extra power (124.36 mW).
+    double q_area = 0.0, q_power = 0.0;
+    for (const auto &m : hw.coreModules) {
+        if (m.name == "SQU" || m.name == "QBC") {
+            q_area += m.areaMm2;
+            q_power += m.powerMw;
+        }
+    }
+    std::printf("quantization support (SQU+QBC): %.2f mm^2 (%.2f%% of "
+                "core; paper 5.87%%),\n"
+                "  %.2f mW (%.2f%% of core; paper 13.95%%)\n",
+                q_area, 100.0 * q_area / hw.coreAreaMm2(), q_power,
+                100.0 * q_power / hw.corePowerMw());
+    std::printf("NDP engine: %.2f mm^2, %.2f mW "
+                "(paper: 0.49 mm^2, 138.94 mW; NDPO alone 0.07 mm^2)\n",
+                hw.ndpAreaMm2(), hw.ndpPowerMw());
+    return 0;
+}

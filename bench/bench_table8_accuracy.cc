@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Table VIII: training accuracy of FP32 vs Zhu-2019 vs Zhang-2020,
+ * each with and without HQT.
+ *
+ * Substitution (see DESIGN.md): ImageNet / WMT17 / PennTreeBank are
+ * replaced by procedurally generated tasks small enough to train on a
+ * CPU in seconds -- four CNN stand-ins of different width/depth on
+ * pattern-image classification, a Transformer block on a sequence-
+ * rule task (accuracy substitutes BLEU) and an LSTM language model on
+ * a synthetic Markov corpus (perplexity, lower is better). The
+ * quantity under test is the paper's: the accuracy *delta* between
+ * quantization policies on identical seeds/data, expected within a
+ * fraction of a percent of FP32, with +HQT matching or beating the
+ * layer-wise algorithms.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "nn/activation.h"
+#include "nn/attention.h"
+#include "nn/conv2d.h"
+#include "nn/datasets.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/pooling.h"
+#include "nn/quant_trainer.h"
+
+using namespace cq;
+
+namespace {
+
+/** CNN stand-in parameterized by width/depth. */
+nn::Network
+makeCnn(std::uint64_t seed, std::size_t c1, std::size_t c2, int depth,
+        std::size_t classes)
+{
+    Rng rng(seed);
+    nn::Network net;
+    net.add(std::make_unique<nn::Conv2d>(
+        "conv1", Conv2dGeometry{1, c1, 3, 3, 1, 1}, rng));
+    net.add(std::make_unique<nn::Activation>("relu1",
+                                             nn::ActKind::ReLU));
+    net.add(std::make_unique<nn::MaxPool2d>("pool1", 2, 2));
+    for (int d = 0; d < depth; ++d) {
+        const std::string tag = std::to_string(d + 2);
+        net.add(std::make_unique<nn::Conv2d>(
+            "conv" + tag,
+            Conv2dGeometry{d == 0 ? c1 : c2, c2, 3, 3, 1, 1}, rng));
+        net.add(std::make_unique<nn::Activation>("relu" + tag,
+                                                 nn::ActKind::ReLU));
+    }
+    net.add(std::make_unique<nn::GlobalAvgPool>("gap"));
+    net.add(std::make_unique<nn::Linear>("fc", c2, classes, rng));
+    return net;
+}
+
+double
+trainCnn(const quant::AlgorithmConfig &algo, std::size_t c1,
+         std::size_t c2, int depth)
+{
+    const std::size_t classes = 4;
+    nn::PatternImageDataset data(classes, 1, 12, 12, 1.2, 1234);
+    nn::Network net = makeCnn(11, c1, c2, depth, classes);
+    nn::QuantTrainerConfig cfg;
+    cfg.algorithm = algo;
+    cfg.optimizer.kind = nn::OptimizerKind::Adam;
+    cfg.optimizer.lr = 3e-3;
+    nn::QuantTrainer trainer(net, cfg);
+    for (int step = 0; step < 150; ++step) {
+        const auto batch = data.sample(32);
+        trainer.stepClassification(batch.inputs, batch.labels);
+    }
+    const auto eval = data.evalSet(512);
+    return 100.0 * trainer.evalAccuracy(eval.inputs, eval.labels);
+}
+
+double
+trainTransformer(const quant::AlgorithmConfig &algo)
+{
+    const std::size_t classes = 4, vocab = 12, seq = 12, dim = 32;
+    const std::size_t batch = 16;
+    nn::SequenceRuleDataset data(classes, vocab, seq, 77);
+    Rng rng(13);
+    nn::Network net;
+    net.add(std::make_unique<nn::Linear>("embed", vocab, dim, rng));
+    net.add(std::make_unique<nn::PositionalEncoding>("pos", seq, dim));
+    net.add(std::make_unique<nn::TransformerBlock>(
+        "block", batch, seq, dim, 4, 2 * dim, rng));
+    // Mean-pool over time is approximated by scoring every position
+    // and training on the last one; simpler: classify from a linear
+    // head applied to all rows, with labels repeated per position.
+    net.add(std::make_unique<nn::Linear>("head", dim, classes, rng));
+
+    nn::QuantTrainerConfig cfg;
+    cfg.algorithm = algo;
+    cfg.optimizer.kind = nn::OptimizerKind::Adam;
+    cfg.optimizer.lr = 1e-3;
+    nn::QuantTrainer trainer(net, cfg);
+
+    const auto expand = [&](const std::vector<int> &labels) {
+        std::vector<int> out;
+        out.reserve(labels.size() * seq);
+        for (int l : labels)
+            for (std::size_t t = 0; t < seq; ++t)
+                out.push_back(l);
+        return out;
+    };
+
+    for (int step = 0; step < 150; ++step) {
+        const auto b = data.sample(batch);
+        trainer.stepClassification(b.inputs, expand(b.labels));
+    }
+    const auto eval = data.evalSet(batch); // fixed geometry
+    double acc = 0.0;
+    const int eval_rounds = 8;
+    for (int r = 0; r < eval_rounds; ++r) {
+        // Re-sample eval batches deterministically via the dataset's
+        // internal stream (geometry fixed by the attention block).
+        const auto b = data.sample(batch);
+        acc += trainer.evalAccuracy(b.inputs, expand(b.labels));
+    }
+    (void)eval;
+    return 100.0 * acc / eval_rounds;
+}
+
+double
+trainLstm(const quant::AlgorithmConfig &algo)
+{
+    const std::size_t vocab = 16, hidden = 48, seq = 16, batch = 16;
+    nn::MarkovTextDataset data(vocab, 55);
+    Rng rng(17);
+    nn::Network net;
+    net.add(std::make_unique<nn::Lstm>("lstm", vocab, hidden, rng));
+    net.add(std::make_unique<nn::MergeLeading>("merge"));
+    net.add(std::make_unique<nn::Linear>("proj", hidden, vocab, rng));
+
+    nn::QuantTrainerConfig cfg;
+    cfg.algorithm = algo;
+    cfg.optimizer.kind = nn::OptimizerKind::Adam;
+    cfg.optimizer.lr = 5e-3;
+    nn::QuantTrainer trainer(net, cfg);
+
+    for (int step = 0; step < 150; ++step) {
+        const auto b = data.sample(seq, batch);
+        trainer.stepLanguageModel(b.inputs, b.targets, vocab);
+    }
+    const auto eval = data.evalSet(seq, 64);
+    return trainer.evalPerplexity(eval.inputs, eval.targets, vocab);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table VIII -- training accuracy (synthetic "
+                  "substitution)",
+                  "Cambricon-Q, ISCA'21, Table VIII");
+
+    const quant::AlgorithmConfig algos[] = {
+        quant::AlgorithmConfig::fp32(),
+        quant::AlgorithmConfig::zhu2019(),
+        quant::AlgorithmConfig::zhu2019Hqt(256),
+        quant::AlgorithmConfig::zhang2020(),
+        quant::AlgorithmConfig::zhang2020Hqt(256),
+    };
+
+    std::printf("%-18s %8s %8s %8s %8s %8s\n", "model (stand-in)",
+                "FP32", "Zhu", "Zhu+HQT", "Zhang", "Zhang+HQT");
+    bench::rule();
+
+    struct CnnSpec
+    {
+        const char *name;
+        std::size_t c1, c2;
+        int depth;
+    };
+    const CnnSpec cnns[] = {
+        {"AlexNet", 8, 16, 1},
+        {"ResNet-18", 8, 16, 3},
+        {"GoogLeNet", 12, 24, 2},
+        {"SqueezeNet", 6, 12, 2},
+    };
+    for (const auto &c : cnns) {
+        std::printf("%-18s", c.name);
+        for (const auto &algo : algos) {
+            std::printf(" %7.1f%%",
+                        trainCnn(algo, c.c1, c.c2, c.depth));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-18s", "Transformer (acc)");
+    for (const auto &algo : algos) {
+        std::printf(" %7.1f%%", trainTransformer(algo));
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+
+    std::printf("%-18s", "LSTM (perplexity*)");
+    for (const auto &algo : algos) {
+        std::printf(" %8.2f", trainLstm(algo));
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+    bench::rule();
+    std::printf("*Lower is better. Paper reference deltas vs FP32: "
+                "Zhu <= 1.2%% loss on CNNs (fails on LSTM),\n"
+                " Zhang within 0.4%%, and +HQT matching or slightly "
+                "improving its base algorithm.\n");
+
+    // ---- extended Table III coverage: the other two published
+    // statistic-based algorithms (Wang'18 FP8, Yang'20 INT8) on the
+    // CNN stand-ins, demonstrating HQT's algorithm generality
+    // (Sec. VII-B). ----
+    std::printf("\nextended coverage (Table III algorithms):\n");
+    std::printf("%-18s %8s %8s %8s\n", "model (stand-in)", "FP32",
+                "Wang'18", "Yang'20");
+    bench::rule();
+    const quant::AlgorithmConfig extra[] = {
+        quant::AlgorithmConfig::fp32(),
+        quant::AlgorithmConfig::wang2018(),
+        quant::AlgorithmConfig::yang2020(),
+    };
+    for (const auto &c : {cnns[0], cnns[1]}) {
+        std::printf("%-18s", c.name);
+        for (const auto &algo : extra) {
+            std::printf(" %7.1f%%",
+                        trainCnn(algo, c.c1, c.c2, c.depth));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    bench::rule();
+    std::printf("Wang'18 quantizes to FP8 (1-5-2) with loss scaling; "
+                "Yang'20 to plain max-abs INT8.\n");
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: running one workload
+ * on each platform model and printing aligned tables.
+ */
+
+#ifndef CQ_BENCH_BENCH_UTIL_H
+#define CQ_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "baseline/gpu_model.h"
+#include "baseline/tpu_sim.h"
+#include "compiler/codegen.h"
+#include "compiler/workloads.h"
+
+namespace cq::bench {
+
+/** Condensed result of one platform on one workload. */
+struct PlatformResult
+{
+    std::string platform;
+    double timeMs = 0.0;
+    double energyMj = 0.0;
+    /** Phase fractions in Fig. 12(b) order FW/NG/WG/WU/S/Q. */
+    std::array<double, arch::kNumPhases> phaseFrac{};
+    /** Energy split (Fig. 12(d)): ACC / BUF / DDR-SB / DDR-DY. */
+    double accMj = 0.0, bufMj = 0.0, ddrSbMj = 0.0, ddrDyMj = 0.0;
+};
+
+inline PlatformResult
+fromPerfReport(const arch::PerfReport &r)
+{
+    PlatformResult out;
+    out.platform = r.configName;
+    out.timeMs = r.timeMs();
+    out.energyMj = r.energyMj();
+    for (std::size_t p = 0; p < arch::kNumPhases; ++p)
+        out.phaseFrac[p] =
+            r.phaseFraction(static_cast<arch::Phase>(p));
+    out.accMj = (r.energy.accPj + r.energy.chipStaticPj) * 1e-9;
+    out.bufMj = r.energy.bufPj * 1e-9;
+    out.ddrSbMj = r.energy.ddrStandbyPj * 1e-9;
+    out.ddrDyMj = r.energy.ddrDynamicPj * 1e-9;
+    return out;
+}
+
+/** Run on a Cambricon-Q-family configuration. */
+inline PlatformResult
+runCambriconQ(const compiler::WorkloadIR &ir,
+              const arch::CambriconQConfig &cfg,
+              const compiler::CodegenOptions &opts = {})
+{
+    arch::Accelerator acc(cfg);
+    return fromPerfReport(
+        acc.run(compiler::generateProgram(ir, cfg, opts)));
+}
+
+/** Run on the TPU baseline. */
+inline PlatformResult
+runTpu(const compiler::WorkloadIR &ir,
+       const compiler::CodegenOptions &opts = {})
+{
+    return fromPerfReport(baseline::simulateTpu(ir, opts));
+}
+
+/** Run on a GPU model. */
+inline PlatformResult
+runGpu(const compiler::WorkloadIR &ir, const baseline::GpuSpec &gpu,
+       bool quantized)
+{
+    const auto r = baseline::simulateGpu(ir, gpu, quantized);
+    PlatformResult out;
+    out.platform = gpu.name + (quantized ? " (quant)" : " (FP32)");
+    out.timeMs = r.timeMs;
+    out.energyMj = r.energyMj;
+    for (std::size_t p = 0; p < arch::kNumPhases; ++p)
+        out.phaseFrac[p] =
+            r.phaseFraction(static_cast<arch::Phase>(p));
+    return out;
+}
+
+/** Print a horizontal rule. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print the header used by all harnesses. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    rule();
+    std::printf("%s\n  reproduces: %s\n", what, paper_ref);
+    rule();
+}
+
+} // namespace cq::bench
+
+#endif // CQ_BENCH_BENCH_UTIL_H

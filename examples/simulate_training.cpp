@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Simulate one quantized-training minibatch of a Table VI network on
+ * Cambricon-Q, Cambricon-Q without NDP, the TPU baseline and the
+ * Jetson TX2 GPU model, printing time, energy and the phase
+ * breakdown.
+ *
+ * Usage: simulate_training [alexnet|resnet18|googlenet|squeezenet|
+ *                           transformer|lstm|tiny]   (default resnet18)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "arch/accelerator.h"
+#include "baseline/gpu_model.h"
+#include "baseline/tpu_sim.h"
+#include "compiler/codegen.h"
+#include "compiler/workloads.h"
+
+using namespace cq;
+
+namespace {
+
+compiler::WorkloadIR
+pickWorkload(const std::string &name)
+{
+    if (name == "alexnet")
+        return compiler::buildAlexNet();
+    if (name == "googlenet")
+        return compiler::buildGoogLeNet();
+    if (name == "squeezenet")
+        return compiler::buildSqueezeNet();
+    if (name == "transformer")
+        return compiler::buildTransformerBase();
+    if (name == "lstm")
+        return compiler::buildPtbLstm();
+    if (name == "tiny")
+        return compiler::buildTinyCnn();
+    return compiler::buildResNet18();
+}
+
+void
+printReport(const arch::PerfReport &r)
+{
+    std::printf("  %-22s %9.2f ms  %8.2f mJ   phases:",
+                r.configName.c_str(), r.timeMs(), r.energyMj());
+    for (std::size_t p = 0; p < arch::kNumPhases; ++p) {
+        std::printf(" %s=%4.1f%%",
+                    arch::phaseName(static_cast<arch::Phase>(p)),
+                    100.0 * r.phaseFraction(
+                                static_cast<arch::Phase>(p)));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string which = argc > 1 ? argv[1] : "resnet18";
+    const compiler::WorkloadIR ir = pickWorkload(which);
+
+    std::printf("workload %s: batch %zu, %.2f GMACs/minibatch, "
+                "%.1f M weights\n\n",
+                ir.name.c_str(), ir.batch, ir.totalMacs / 1e9,
+                ir.totalWeights / 1e6);
+
+    const compiler::CodegenOptions opts;
+
+    // Cambricon-Q (with NDP).
+    {
+        const auto cfg = arch::CambriconQConfig::edge();
+        arch::Accelerator acc(cfg);
+        printReport(acc.run(compiler::generateProgram(ir, cfg, opts)));
+    }
+    // Cambricon-Q without the NDP engine (Sec. VII-D ablation).
+    {
+        const auto cfg = arch::CambriconQConfig::edgeNoNdp();
+        arch::Accelerator acc(cfg);
+        printReport(acc.run(compiler::generateProgram(ir, cfg, opts)));
+    }
+    // TPU baseline.
+    printReport(baseline::simulateTpu(ir, opts));
+
+    // GPU (analytical).
+    const auto gpu = baseline::GpuSpec::jetsonTx2();
+    const auto fp32 = baseline::simulateGpu(ir, gpu, false);
+    const auto quant = baseline::simulateGpu(ir, gpu, true);
+    std::printf("  %-22s %9.2f ms  %8.2f mJ   (FP32 training)\n",
+                gpu.name.c_str(), fp32.timeMs, fp32.energyMj);
+    std::printf("  %-22s %9.2f ms  %8.2f mJ   (quantized, %.2fx vs "
+                "FP32)\n",
+                gpu.name.c_str(), quant.timeMs, quant.energyMj,
+                quant.timeMs / fp32.timeMs);
+    return 0;
+}

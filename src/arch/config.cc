@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Configuration presets.
+ */
+
+#include "arch/config.h"
+
+namespace cq::arch {
+
+double
+CambriconQConfig::peakMacsPerCycleInt8() const
+{
+    // Each 4-bit PE contributes one 4-bit multiply per cycle; an INT8
+    // x INT8 MAC needs (8/4)*(8/4) = 4 passes.
+    const double per_array =
+        static_cast<double>(peRows) * static_cast<double>(peCols) / 4.0;
+    return per_array * numArrays();
+}
+
+CambriconQConfig
+CambriconQConfig::edge()
+{
+    return CambriconQConfig{};
+}
+
+CambriconQConfig
+CambriconQConfig::edgeNoNdp()
+{
+    CambriconQConfig cfg;
+    cfg.name = "Cambricon-Q w/o NDP";
+    cfg.ndpEnabled = false;
+    return cfg;
+}
+
+CambriconQConfig
+CambriconQConfig::throughputT()
+{
+    // Eight PE arrays with private SBs sharing NBin broadcasts;
+    // 4x memory bandwidth (68.24 GB/s). 16 Tops @ INT8.
+    CambriconQConfig cfg;
+    cfg.name = "Cambricon-Q-T";
+    cfg.meshCols = 8;
+    cfg.meshRows = 1;
+    cfg.sbBytes = 8 * 512 * 1024;
+    // Each array's output path carries its own SQU instance.
+    cfg.squStatBytesPerCycle *= 8;
+    cfg.squQuantBytesPerCycle *= 8;
+    cfg.sfuElemsPerCycle *= 8;
+    cfg.staticPowerMw *= 4.0;
+    cfg.dram = dram::DramConfig::scaled(4);
+    return cfg;
+}
+
+CambriconQConfig
+CambriconQConfig::throughputV()
+{
+    // An 8x8 mesh: columns share SB weights, rows share NBin neurons
+    // (batch parallel). 128 Tops @ INT8, 16x bandwidth (272.96 GB/s).
+    CambriconQConfig cfg;
+    cfg.name = "Cambricon-Q-V";
+    cfg.meshCols = 8;
+    cfg.meshRows = 8;
+    cfg.sbBytes = 8 * 512 * 1024;
+    cfg.nbinBytes = 8 * 256 * 1024;
+    // SQU/SFU instances replicate with the mesh.
+    cfg.squStatBytesPerCycle *= 64;
+    cfg.squQuantBytesPerCycle *= 64;
+    cfg.sfuElemsPerCycle *= 64;
+    cfg.staticPowerMw *= 24.0;
+    cfg.dram = dram::DramConfig::scaled(16);
+    return cfg;
+}
+
+} // namespace cq::arch

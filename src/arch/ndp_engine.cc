@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Implementation of the NDP engine functional model.
+ */
+
+#include "arch/ndp_engine.h"
+
+#include "common/logging.h"
+
+namespace cq::arch {
+
+void
+NdpEngine::configure(const nn::NdpoConstants &constants)
+{
+    constants_ = constants;
+    configured_ = true;
+}
+
+void
+NdpEngine::weightGradientStore(std::vector<float> &weights,
+                               std::vector<float> &m,
+                               std::vector<float> &v,
+                               const std::vector<float> &gradients)
+{
+    CQ_ASSERT_MSG(configured_,
+                  "WGSTORE before CROSET configured the NDPO");
+    CQ_ASSERT(weights.size() == gradients.size() &&
+              m.size() == weights.size() && v.size() == weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+        constants_.apply(weights[i], m[i], v[i], gradients[i]);
+    elements_ += weights.size();
+}
+
+} // namespace cq::arch

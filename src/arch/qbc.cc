@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Implementation of the QBC functional model.
+ */
+
+#include "arch/qbc.h"
+
+#include "common/logging.h"
+
+namespace cq::arch {
+
+Qbc::Qbc(Bytes capacity_bytes, std::size_t line_words)
+    : lineWords_(line_words)
+{
+    CQ_ASSERT(line_words > 0 && capacity_bytes >= line_words);
+    const std::size_t nlines =
+        static_cast<std::size_t>(capacity_bytes) / line_words;
+    lines_.resize(nlines);
+    for (auto &line : lines_) {
+        line.tag = quant::IntFormat{8, 1.0};
+        line.levels.assign(lineWords_, 0);
+    }
+}
+
+void
+Qbc::writeLine(std::size_t line_idx,
+               const std::vector<std::int16_t> &levels,
+               const quant::IntFormat &tag)
+{
+    CQ_ASSERT(line_idx < lines_.size());
+    CQ_ASSERT(levels.size() == lineWords_);
+    lines_[line_idx].levels = levels;
+    lines_[line_idx].tag = tag;
+}
+
+void
+Qbc::writeWord(std::size_t line_idx, std::size_t word_idx,
+               std::int16_t level, const quant::IntFormat &tag)
+{
+    CQ_ASSERT(line_idx < lines_.size() && word_idx < lineWords_);
+    BufferLine &line = lines_[line_idx];
+
+    if (tag == line.tag) {
+        line.levels[word_idx] = level;
+        return;
+    }
+
+    // Selected Line: merge the incoming word with the resident line,
+    // determine the Max Tag (larger scale covers the wider range),
+    // requantize everything to it and flush back.
+    ++requants_;
+    const quant::IntFormat max_tag =
+        tag.scale >= line.tag.scale ? tag : line.tag;
+
+    for (std::size_t w = 0; w < lineWords_; ++w) {
+        const bool incoming = w == word_idx;
+        const quant::IntFormat &src_tag = incoming ? tag : line.tag;
+        const std::int16_t src_level =
+            incoming ? level : line.levels[w];
+        const double value = quant::dequantizeValue(src_level, src_tag);
+        line.levels[w] = static_cast<std::int16_t>(
+            quant::quantizeValue(value, max_tag));
+    }
+    line.tag = max_tag;
+}
+
+const BufferLine &
+Qbc::readLine(std::size_t line_idx) const
+{
+    CQ_ASSERT(line_idx < lines_.size());
+    return lines_[line_idx];
+}
+
+double
+Qbc::readValue(std::size_t line_idx, std::size_t word_idx) const
+{
+    CQ_ASSERT(line_idx < lines_.size() && word_idx < lineWords_);
+    const BufferLine &line = lines_[line_idx];
+    return quant::dequantizeValue(line.levels[word_idx], line.tag);
+}
+
+} // namespace cq::arch

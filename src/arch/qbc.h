@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Quantization Buffer Controller (paper Sec. IV-B2, Fig. 9).
+ *
+ * The QBC manages an on-chip buffer (NBin or SB) in lines of 32
+ * 8-bit words; every line carries a tag recording the quantization
+ * format of its contents. Tensor-granular accesses read/write whole
+ * lines sharing one tag. Byte-addressed writes whose data carries a
+ * different tag trigger *re-quantization*: the line is merged in the
+ * Selected Line register, the Max Tag (widest scale) is computed, and
+ * the line is rewritten under that single tag, preserving the
+ * invariant that one line has one format.
+ *
+ * This class is a functional model (used by the accelerator's
+ * datapath tests); the timing cost of requantization is reported via
+ * counters that the simulator converts to cycles/energy.
+ */
+
+#ifndef CQ_ARCH_QBC_H
+#define CQ_ARCH_QBC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "quant/qformat.h"
+
+namespace cq::arch {
+
+/** One QBC-managed buffer line. */
+struct BufferLine
+{
+    quant::IntFormat tag;               ///< shared format of the line
+    std::vector<std::int16_t> levels;   ///< quantized words
+};
+
+/** Functional QBC + buffer model. */
+class Qbc
+{
+  public:
+    /**
+     * @param capacity_bytes buffer capacity
+     * @param line_words     words per line (32 in the paper)
+     */
+    Qbc(Bytes capacity_bytes, std::size_t line_words = 32);
+
+    std::size_t numLines() const { return lines_.size(); }
+    std::size_t lineWords() const { return lineWords_; }
+
+    /**
+     * Tensor-granular write: fill the whole line @p line_idx with
+     * levels sharing @p tag. The common, requantization-free path.
+     */
+    void writeLine(std::size_t line_idx,
+                   const std::vector<std::int16_t> &levels,
+                   const quant::IntFormat &tag);
+
+    /**
+     * Byte-addressed write of one word carrying its own tag. When the
+     * tag differs from the line's, the line is requantized to the Max
+     * Tag (the format with the larger scale, which can represent both
+     * ranges) and the counter is bumped.
+     */
+    void writeWord(std::size_t line_idx, std::size_t word_idx,
+                   std::int16_t level, const quant::IntFormat &tag);
+
+    /** Read back a full line (levels + tag). */
+    const BufferLine &readLine(std::size_t line_idx) const;
+
+    /** Dequantized value of one stored word. */
+    double readValue(std::size_t line_idx, std::size_t word_idx) const;
+
+    /** Number of requantization events so far. */
+    std::uint64_t requantCount() const { return requants_; }
+
+  private:
+    std::size_t lineWords_;
+    std::vector<BufferLine> lines_;
+    std::uint64_t requants_ = 0;
+};
+
+} // namespace cq::arch
+
+#endif // CQ_ARCH_QBC_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Implementation of the functional quantized GEMM.
+ */
+
+#include "arch/quantized_gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "arch/pe_array.h"
+#include "common/logging.h"
+#include "quant/qformat.h"
+#include "quant/statistics.h"
+
+namespace cq::arch {
+
+namespace {
+
+/** Per-segment quantization of one operand vector of length k. */
+struct SegmentedVector
+{
+    std::vector<std::int32_t> levels;
+    std::vector<quant::IntFormat> tags; ///< one per k-segment
+};
+
+SegmentedVector
+quantizeSegments(const float *data, std::size_t k, std::size_t stride,
+                 std::size_t block_k, int bits)
+{
+    SegmentedVector out;
+    out.levels.resize(k);
+    for (std::size_t lo = 0; lo < k; lo += block_k) {
+        const std::size_t hi = std::min(lo + block_k, k);
+        quant::MaxAbsStat stat;
+        for (std::size_t i = lo; i < hi; ++i)
+            stat.observe(data[i * stride]);
+        const quant::IntFormat fmt =
+            quant::formatForMaxAbs(stat.value(), bits);
+        for (std::size_t i = lo; i < hi; ++i)
+            out.levels[i] =
+                quant::quantizeValue(data[i * stride], fmt);
+        out.tags.push_back(fmt);
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor
+quantizedMatmul(const Tensor &a, const Tensor &b,
+                const QuantizedGemmOptions &options)
+{
+    CQ_ASSERT(a.ndim() == 2 && b.ndim() == 2);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    CQ_ASSERT(b.dim(0) == k);
+    CQ_ASSERT(options.blockK > 0);
+
+    // Quantize every A row and B column segment-wise (what the SQU
+    // produces into NBin/SB, with QBC tags per line).
+    std::vector<SegmentedVector> rows(m);
+    for (std::size_t i = 0; i < m; ++i)
+        rows[i] = quantizeSegments(a.data() + i * k, k, 1,
+                                   options.blockK, options.bits);
+    std::vector<SegmentedVector> cols(n);
+    for (std::size_t j = 0; j < n; ++j)
+        cols[j] = quantizeSegments(b.data() + j, k, n, options.blockK,
+                                   options.bits);
+
+    Tensor c({m, n});
+    const std::size_t nseg = (k + options.blockK - 1) / options.blockK;
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc_fp = 0.0;
+            for (std::size_t s = 0; s < nseg; ++s) {
+                const std::size_t lo = s * options.blockK;
+                const std::size_t hi =
+                    std::min(lo + options.blockK, k);
+                // Integer dot product of the segment: this is the
+                // adder tree over bit-serial PE products, held in the
+                // wide (38-bit) accumulator.
+                std::int64_t acc = 0;
+                for (std::size_t kk = lo; kk < hi; ++kk) {
+                    acc += PeArray::bitSerialMultiply(
+                        rows[i].levels[kk], options.bits,
+                        cols[j].levels[kk], options.bits);
+                }
+                CQ_ASSERT_MSG(acc < (1ll << 37) &&
+                                  acc > -(1ll << 37),
+                              "accumulator overflow in segment");
+                // Dequantizer stage: scale by both tags into FP32.
+                acc_fp += PeArray::dequantize(
+                    acc, rows[i].tags[s].scale, cols[j].tags[s].scale);
+            }
+            c.at2(i, j) = static_cast<float>(acc_fp);
+        }
+    }
+    return c;
+}
+
+} // namespace cq::arch

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Functional model of the MM/CONV datapath: the composition of
+ * LDQ-quantized operands (per-block tags as managed by the QBC),
+ * nibble-serial integer MACs in the PE array, 38-bit accumulation,
+ * and per-segment dequantization in the Accumulators.
+ *
+ * This is the executable semantics of what the timing simulator only
+ * schedules; tests use it to bound the end-to-end numerical error of
+ * the hardware path against FP32 GEMM.
+ */
+
+#ifndef CQ_ARCH_QUANTIZED_GEMM_H
+#define CQ_ARCH_QUANTIZED_GEMM_H
+
+#include <cstddef>
+
+#include "quant/block_quant.h"
+#include "tensor/tensor.h"
+
+namespace cq::arch {
+
+/** Options for the functional quantized GEMM. */
+struct QuantizedGemmOptions
+{
+    /** Operand width (4/8/12/16). */
+    int bits = 8;
+    /**
+     * LDQ block length along the reduction dimension. Each k-segment
+     * of this many elements shares one quantization tag per operand
+     * (a buffer line's worth in the QBC); the accumulator dequantizes
+     * per segment into FP32.
+     */
+    std::size_t blockK = 64;
+};
+
+/**
+ * C = A(m x k) * B(k x n) through the modeled datapath. A is
+ * quantized row-wise and B column-wise in k-segments of blockK
+ * elements; products are computed with PeArray::bitSerialMultiply and
+ * accumulated exactly as the adder tree + shift-adder do.
+ */
+Tensor quantizedMatmul(const Tensor &a, const Tensor &b,
+                       const QuantizedGemmOptions &options = {});
+
+} // namespace cq::arch
+
+#endif // CQ_ARCH_QUANTIZED_GEMM_H

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Implementation of the analytical GPU model.
+ */
+
+#include "baseline/gpu_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cq::baseline {
+
+using arch::Phase;
+using compiler::Task;
+
+GpuSpec
+GpuSpec::jetsonTx2()
+{
+    GpuSpec g;
+    g.name = "Jetson TX2";
+    g.peakTflops = 1.33; // 256 CUDA cores x 2 FP16 FMA @ 1302 MHz
+    g.memBwGBs = 59.7;
+    g.trainPowerW = 3.3;  // GPU-rail power during FP16 training
+    g.computeEff = 0.34; // cuDNN FP16 training kernels on sm_62
+    g.bwEff = 0.62; // measured STREAM-class efficiency incl. refresh
+    g.hostQuantMs = 0.35;
+    return g;
+}
+
+GpuSpec
+GpuSpec::gtx1080Ti()
+{
+    GpuSpec g;
+    g.name = "GTX 1080Ti";
+    g.peakTflops = 11.34;
+    g.memBwGBs = 484.0;
+    g.trainPowerW = 220.0;
+    g.computeEff = 0.42;
+    g.bwEff = 0.70;
+    g.hostQuantMs = 0.25;
+    return g;
+}
+
+GpuSpec
+GpuSpec::v100()
+{
+    GpuSpec g;
+    g.name = "V100";
+    g.peakTflops = 125.0; // Tensor Core FP16
+    g.memBwGBs = 900.0;
+    g.trainPowerW = 280.0;
+    g.computeEff = 0.35; // Tensor Core utilization in real training
+    g.bwEff = 0.72;
+    g.hostQuantMs = 0.20;
+    return g;
+}
+
+double
+GpuResult::phaseFraction(Phase phase) const
+{
+    double total = 0.0;
+    for (double v : phaseMs)
+        total += v;
+    if (total <= 0.0)
+        return 0.0;
+    return phaseMs[static_cast<std::size_t>(phase)] / total;
+}
+
+namespace {
+
+/** Roofline time (ms) for a kernel of @p flops and @p bytes. */
+double
+kernelMs(const GpuSpec &gpu, double flops, double bytes)
+{
+    const double compute_ms =
+        flops / (gpu.peakTflops * 1e12 * gpu.computeEff) * 1e3;
+    const double mem_ms =
+        bytes / (gpu.memBwGBs * 1e9 * gpu.bwEff) * 1e3;
+    // A small fixed launch cost keeps tiny kernels honest.
+    return std::max(compute_ms, mem_ms) + 0.004;
+}
+
+} // namespace
+
+GpuResult
+simulateGpu(const compiler::WorkloadIR &ir, const GpuSpec &gpu,
+            bool quantized)
+{
+    GpuResult res;
+    auto add = [&res](Phase phase, double ms) {
+        res.phaseMs[static_cast<std::size_t>(phase)] += ms;
+        res.timeMs += ms;
+    };
+
+    const double eb = gpu.bytesPerElem;
+
+    for (const auto &task : ir.tasks) {
+        switch (task.kind) {
+          case Task::Kind::Gemm: {
+            const auto &g = task.gemm;
+            const double flops = 2.0 * static_cast<double>(g.macs());
+            const double bytes =
+                eb * static_cast<double>(g.aElems() + g.bElems() +
+                                         g.cElems());
+            add(g.phase, kernelMs(gpu, flops, bytes));
+
+            if (quantized) {
+                // Fig. 4(b): the host computes the statistics -- the
+                // CPU streams the produced tensor at cpuStatGBs plus
+                // a fixed round-trip -- then a GPU quantization
+                // kernel rewrites it.
+                const auto host_stat_ms = [&gpu](double bytes) {
+                    return bytes / (gpu.cpuStatGBs * 1e9) * 1e3 +
+                           gpu.hostQuantMs;
+                };
+                const double out_bytes =
+                    eb * static_cast<double>(g.cElems());
+                add(Phase::Stat, host_stat_ms(out_bytes));
+                add(Phase::Quant, kernelMs(gpu, 0.0, 2.0 * out_bytes));
+                if (g.freshWeightElems > 0) {
+                    const double w_bytes =
+                        4.0 * static_cast<double>(g.freshWeightElems);
+                    add(Phase::Stat, host_stat_ms(w_bytes));
+                    add(Phase::Quant,
+                        kernelMs(gpu, 0.0, 2.0 * w_bytes));
+                }
+            }
+            break;
+          }
+          case Task::Kind::Stream: {
+            const auto &s = task.stream;
+            const double bytes =
+                eb * static_cast<double>(s.inElems + s.inElems2 +
+                                         s.outElems);
+            add(s.phase, kernelMs(gpu, 0.0, bytes));
+            break;
+          }
+          case Task::Kind::Update: {
+            // FP32 optimizer: read dW, w, m; write w, m.
+            const double bytes =
+                20.0 * static_cast<double>(task.update.numWeights);
+            add(Phase::WU, kernelMs(gpu, 0.0, bytes));
+            break;
+          }
+          case Task::Kind::Alias:
+            break;
+        }
+    }
+
+    res.energyMj = gpu.trainPowerW * res.timeMs; // 1 W x 1 ms = 1 mJ
+    return res;
+}
+
+} // namespace cq::baseline

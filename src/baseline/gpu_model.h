@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytical GPU training model.
+ *
+ * Replaces the paper's physical measurements (Jetson TX2 with nvprof
+ * + a power analyzer; GTX 1080Ti; V100) with a roofline model: each
+ * GEMM takes max(compute, memory) time at calibrated efficiencies,
+ * elementwise stages are bandwidth-bound, and the FP32 weight update
+ * moves w/m/g at full precision. Quantized training on the GPU adds
+ * what Sec. II-B describes: statistic and quantization kernels (extra
+ * bandwidth-bound passes) plus a host-CPU round trip per quantized
+ * tensor, because GPUs lack on-the-fly statistic/quantization
+ * hardware. The host-overhead constant is calibrated so that
+ * quantized training lands in the paper's observed 1.09x-1.78x
+ * slowdown band over FP32 training (Fig. 3).
+ */
+
+#ifndef CQ_BASELINE_GPU_MODEL_H
+#define CQ_BASELINE_GPU_MODEL_H
+
+#include <array>
+#include <string>
+
+#include "arch/isa.h"
+#include "compiler/workload_ir.h"
+
+namespace cq::baseline {
+
+/** Device parameters. */
+struct GpuSpec
+{
+    std::string name;
+    /** Peak throughput in the format training uses (TFLOPS). */
+    double peakTflops = 1.0;
+    double memBwGBs = 50.0;
+    /** Average board power during training (W). */
+    double trainPowerW = 10.0;
+    /** Achieved fraction of peak on training GEMMs. */
+    double computeEff = 0.40;
+    /** Achieved fraction of peak bandwidth. */
+    double bwEff = 0.70;
+    /** Bytes per tensor element held during training (FP16 mixed). */
+    double bytesPerElem = 2.0;
+    /**
+     * Host round trip per statistic-quantized tensor (ms): kernel
+     * launches and device-host synchronization. The CPU-side
+     * statistic computation itself is modeled by cpuStatGBs below,
+     * per Fig. 4(b) which places S()/Q() on the host.
+     */
+    double hostQuantMs = 0.35;
+    /** CPU streaming rate for the host-side statistic pass (GB/s). */
+    double cpuStatGBs = 4.0;
+
+    /** NVIDIA Jetson TX2 (edge baseline of Sec. V-B). */
+    static GpuSpec jetsonTx2();
+    /** GTX 1080Ti (desktop, Sec. VII-A). */
+    static GpuSpec gtx1080Ti();
+    /** Tesla V100 (server, Sec. VII-A). */
+    static GpuSpec v100();
+};
+
+/** Result of modeling one training minibatch. */
+struct GpuResult
+{
+    double timeMs = 0.0;
+    double energyMj = 0.0;
+    /** Time split over FW/NG/WG/WU/S/Q (ms). */
+    std::array<double, arch::kNumPhases> phaseMs{};
+
+    double phaseFraction(arch::Phase phase) const;
+};
+
+/**
+ * Model one minibatch of @p ir on @p gpu. @p quantized selects the
+ * statistic-quantized training algorithm (with its GPU-side
+ * overheads) versus plain FP32/mixed-precision training.
+ */
+GpuResult simulateGpu(const compiler::WorkloadIR &ir, const GpuSpec &gpu,
+                      bool quantized);
+
+} // namespace cq::baseline
+
+#endif // CQ_BASELINE_GPU_MODEL_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Implementation of logging helpers.
+ */
+
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cq {
+
+namespace {
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+vlogMessage(LogLevel level, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "[%s] ", levelPrefix(level));
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, fmt, args);
+    va_end(args);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Panic, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Fatal, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Warn, fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogMessage(LogLevel::Inform, fmt, args);
+    va_end(args);
+}
+
+} // namespace cq

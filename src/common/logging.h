@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal()
+ * for unrecoverable user/configuration errors, warn()/inform() for
+ * status messages.
+ */
+
+#ifndef CQ_COMMON_LOGGING_H
+#define CQ_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace cq {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted message at the given level. Fatal exits with code 1;
+ * Panic aborts. Printf-style formatting.
+ */
+[[gnu::format(printf, 2, 3)]]
+void logMessage(LogLevel level, const char *fmt, ...);
+
+/** Internal invariant violated: print and abort. */
+[[noreturn, gnu::format(printf, 1, 2)]]
+void panic(const char *fmt, ...);
+
+/** Unrecoverable configuration/user error: print and exit(1). */
+[[noreturn, gnu::format(printf, 1, 2)]]
+void fatal(const char *fmt, ...);
+
+/** Something looks off but simulation can continue. */
+[[gnu::format(printf, 1, 2)]]
+void warn(const char *fmt, ...);
+
+/** Neutral status message. */
+[[gnu::format(printf, 1, 2)]]
+void inform(const char *fmt, ...);
+
+/**
+ * Assert-like check that stays enabled in release builds.
+ * Use for simulator invariants whose violation means a model bug.
+ */
+#define CQ_ASSERT(cond)                                                    \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::cq::panic("assertion failed (%s) at %s:%d",                  \
+                        #cond, __FILE__, __LINE__);                        \
+        }                                                                  \
+    } while (0)
+
+/** CQ_ASSERT with an additional printf-style explanation. */
+#define CQ_ASSERT_MSG(cond, fmt, ...)                                      \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::cq::panic("assertion failed (%s) at %s:%d: " fmt,            \
+                        #cond, __FILE__, __LINE__, ##__VA_ARGS__);         \
+        }                                                                  \
+    } while (0)
+
+} // namespace cq
+
+#endif // CQ_COMMON_LOGGING_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the simulator and libraries.
+ */
+
+#ifndef CQ_COMMON_TYPES_H
+#define CQ_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace cq {
+
+/** Simulated time in clock cycles (accelerator clock unless noted). */
+using Tick = std::uint64_t;
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** A tick value that means "never" / unscheduled. */
+inline constexpr Tick kMaxTick = ~Tick(0);
+
+/** Picojoules; all dynamic energy bookkeeping uses pJ. */
+using PicoJoule = double;
+
+/** Number of 8-bit bytes. */
+using Bytes = std::uint64_t;
+
+} // namespace cq
+
+#endif // CQ_COMMON_TYPES_H

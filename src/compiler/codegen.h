@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Code generation: WorkloadIR -> Cambricon-Q / TPU instruction
+ * streams.
+ *
+ * The generator tiles every GEMM to the target's (double-buffered)
+ * on-chip buffers, emits the data movement with the right
+ * quantization mechanism -- fused SQU streams (QLOAD/QSTORE/QMOVE) on
+ * Cambricon-Q, separate statistic + quantization memory passes on the
+ * TPU baseline (Fig. 4(c)) -- and lowers the weight update either to
+ * WGSTORE (NDP in-place update) or to the explicit
+ * load/compute/store sequence the baselines need.
+ */
+
+#ifndef CQ_COMPILER_CODEGEN_H
+#define CQ_COMPILER_CODEGEN_H
+
+#include "arch/config.h"
+#include "arch/isa.h"
+#include "compiler/workload_ir.h"
+#include "nn/optimizer.h"
+
+namespace cq::compiler {
+
+/** Code-generation options. */
+struct CodegenOptions
+{
+    enum class Target
+    {
+        /** Fused SQU quantization; WGSTORE when the config has NDP. */
+        CambriconQ,
+        /** Separate S/Q passes, on-core weight update (Fig. 4(c)). */
+        Tpu,
+    };
+    Target target = Target::CambriconQ;
+
+    /** Quantized operand width (bits). */
+    int bits = 8;
+
+    /**
+     * Optimizer run by the weight-update stage; decides how many
+     * state tensors (m/v) the non-NDP update must move.
+     */
+    nn::OptimizerKind optimizer = nn::OptimizerKind::RMSProp;
+};
+
+/** Generate the instruction stream for one training minibatch. */
+arch::Program generateProgram(const WorkloadIR &ir,
+                              const arch::CambriconQConfig &config,
+                              const CodegenOptions &options);
+
+/** Traffic summary of a program, for analysis/tests. */
+struct TrafficSummary
+{
+    Bytes loadBytes = 0;
+    Bytes storeBytes = 0;
+    /** Bytes moved at full precision (FP32 streams + WGSTORE). */
+    Bytes fullPrecisionBytes = 0;
+    Bytes totalBytes() const { return loadBytes + storeBytes; }
+};
+
+TrafficSummary summarizeTraffic(const arch::Program &prog);
+
+} // namespace cq::compiler
+
+#endif // CQ_COMPILER_CODEGEN_H

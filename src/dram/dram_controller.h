@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Command-level DRAM controller model.
+ *
+ * Transfers are split into bus bursts; each burst is scheduled against
+ * per-bank row state (ACTIVATE / PRECHARGE timing) and the shared data
+ * bus. The model is transaction-driven: callers present transfers in
+ * nondecreasing simulated time (the event-driven executor guarantees
+ * this) and receive the completion tick. Row-hit/miss behaviour,
+ * bandwidth saturation and per-command energy are all tracked.
+ *
+ * The controller also implements the NDP engine's row protocol for
+ * in-place weight update (Sec. IV-B3 of the paper): three ACTIVATEs
+ * open the w/m/v rows, WRITE commands stream gradients over the bus,
+ * the NDPO updates the row buffers locally, and three PRECHARGEs
+ * close the rows -- w/m/v themselves never cross the bus.
+ */
+
+#ifndef CQ_DRAM_DRAM_CONTROLLER_H
+#define CQ_DRAM_DRAM_CONTROLLER_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "dram/dram_config.h"
+
+namespace cq::dram {
+
+/** Per-bank row-buffer state. */
+struct BankState
+{
+    bool rowOpen = false;
+    std::uint64_t openRow = 0;
+    /** Earliest tick the bank can accept a column command. */
+    Tick readyAt = 0;
+    /** Tick of the last ACTIVATE (for tRAS enforcement). */
+    Tick lastActivate = 0;
+};
+
+/**
+ * One memory channel plus its controller.
+ */
+class DramController
+{
+  public:
+    explicit DramController(DramConfig config);
+
+    const DramConfig &config() const { return config_; }
+
+    /**
+     * Stream @p bytes starting at @p addr through the channel, not
+     * starting before @p earliest. @p is_write selects the direction.
+     * Returns the completion tick of the last burst.
+     */
+    Tick transfer(Tick earliest, Addr addr, Bytes bytes, bool is_write);
+
+    /**
+     * NDP in-place update of @p num_elements consecutive
+     * @p element_bytes-sized weights starting at @p addr. Per row
+     * group: 3 ACT + gradient WRITE bursts + NDPO pipeline + 3 PRE.
+     * Only the gradients cross the bus.
+     */
+    Tick ndpUpdate(Tick earliest, Addr addr, std::size_t num_elements,
+                   Bytes element_bytes);
+
+    /** Earliest tick a new transfer could begin (bus free). */
+    Tick busFreeAt() const { return busFreeAt_; }
+
+    /** Total bytes moved over the data bus so far. */
+    Bytes busBytes() const { return busBytes_; }
+
+    /** Activity counters (acts, reads, writes, rowHits, ...),
+     *  materialized from the internal fast counters. */
+    StatGroup stats() const;
+
+    /** Dynamic energy accumulated so far (pJ). */
+    PicoJoule dynamicEnergy() const { return dynamicEnergy_; }
+
+    /** Standby energy for a run of @p total_ticks (pJ). */
+    PicoJoule standbyEnergy(Tick total_ticks) const;
+
+    /** Reset all state (row buffers, bus, stats). */
+    void reset();
+
+  private:
+    /** Map an address to (bank, row) under the Ro:Ba:Co scheme. */
+    void mapAddress(Addr addr, std::size_t &bank,
+                    std::uint64_t &row) const;
+
+    /**
+     * Issue any all-bank refreshes due at or before @p now: every
+     * tREFI, all banks close their rows and stall for tRFC.
+     */
+    void applyRefreshUpTo(Tick now);
+
+    /** Open @p row in @p bank if needed; returns column-ready tick. */
+    Tick prepareRow(Tick earliest, std::size_t bank, std::uint64_t row);
+
+    /** Advance the (possibly fractional) burst duration. */
+    Tick burstDuration();
+
+    DramConfig config_;
+    std::vector<BankState> banks_;
+    Tick busFreeAt_ = 0;
+    Bytes busBytes_ = 0;
+    unsigned burstPhase_ = 0;
+    PicoJoule dynamicEnergy_ = 0.0;
+
+    /** @name Fast activity counters (hot path: no map lookups) */
+    /** @{ */
+    std::uint64_t nActivates_ = 0;
+    std::uint64_t nPrecharges_ = 0;
+    std::uint64_t nReads_ = 0;
+    std::uint64_t nWrites_ = 0;
+    std::uint64_t nRowHits_ = 0;
+    std::uint64_t nRowMisses_ = 0;
+    std::uint64_t nNdpElements_ = 0;
+    std::uint64_t nNdpRowGroups_ = 0;
+    std::uint64_t nRefreshes_ = 0;
+    /** @} */
+
+    /** Next scheduled all-bank refresh. */
+    Tick nextRefresh_ = 0;
+};
+
+} // namespace cq::dram
+
+#endif // CQ_DRAM_DRAM_CONTROLLER_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Implementation of activation layers.
+ */
+
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cq::nn {
+
+const char *
+actKindName(ActKind kind)
+{
+    switch (kind) {
+      case ActKind::ReLU:    return "relu";
+      case ActKind::Tanh:    return "tanh";
+      case ActKind::Sigmoid: return "sigmoid";
+      case ActKind::Gelu:    return "gelu";
+    }
+    return "?";
+}
+
+Activation::Activation(std::string name, ActKind kind)
+    : name_(std::move(name)), kind_(kind)
+{
+}
+
+namespace {
+
+float
+actForward(ActKind kind, float x)
+{
+    switch (kind) {
+      case ActKind::ReLU:
+        return x > 0.0f ? x : 0.0f;
+      case ActKind::Tanh:
+        return std::tanh(x);
+      case ActKind::Sigmoid:
+        return 1.0f / (1.0f + std::exp(-x));
+      case ActKind::Gelu: {
+        // tanh approximation of GELU
+        const float c = 0.7978845608f; // sqrt(2/pi)
+        const float inner = c * (x + 0.044715f * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      }
+    }
+    return x;
+}
+
+float
+actBackward(ActKind kind, float x, float y, float dy)
+{
+    switch (kind) {
+      case ActKind::ReLU:
+        return x > 0.0f ? dy : 0.0f;
+      case ActKind::Tanh:
+        return dy * (1.0f - y * y);
+      case ActKind::Sigmoid:
+        return dy * y * (1.0f - y);
+      case ActKind::Gelu: {
+        const float c = 0.7978845608f;
+        const float x3 = 0.044715f * x * x * x;
+        const float t = std::tanh(c * (x + x3));
+        const float dt = (1.0f - t * t) *
+                         c * (1.0f + 3.0f * 0.044715f * x * x);
+        return dy * (0.5f * (1.0f + t) + 0.5f * x * dt);
+      }
+    }
+    return dy;
+}
+
+} // namespace
+
+Tensor
+Activation::forward(const Tensor &input)
+{
+    cachedInput_ = input;
+    Tensor out(input.shape());
+    for (std::size_t i = 0; i < input.numel(); ++i)
+        out[i] = actForward(kind_, input[i]);
+    cachedOutput_ = out;
+    return out;
+}
+
+Tensor
+Activation::backward(const Tensor &grad_output)
+{
+    CQ_ASSERT(grad_output.shape() == cachedInput_.shape());
+    Tensor grad_in(grad_output.shape());
+    for (std::size_t i = 0; i < grad_output.numel(); ++i)
+        grad_in[i] = actBackward(kind_, cachedInput_[i],
+                                 cachedOutput_[i], grad_output[i]);
+    return grad_in;
+}
+
+} // namespace cq::nn

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Implementation of multi-head self-attention and the Transformer
+ * encoder block.
+ */
+
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "nn/activation.h"
+#include "nn/softmax.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq::nn {
+
+PositionalEncoding::PositionalEncoding(std::string name,
+                                       std::size_t seq_len,
+                                       std::size_t model_dim,
+                                       float scale)
+    : name_(std::move(name)),
+      seqLen_(seq_len),
+      table_({seq_len, model_dim})
+{
+    for (std::size_t t = 0; t < seq_len; ++t) {
+        for (std::size_t d = 0; d < model_dim; ++d) {
+            const double rate = std::pow(
+                10000.0, -static_cast<double>(d / 2 * 2) /
+                             static_cast<double>(model_dim));
+            const double angle = static_cast<double>(t) * rate;
+            table_.at2(t, d) = scale * static_cast<float>(
+                                           d % 2 ? std::cos(angle)
+                                                 : std::sin(angle));
+        }
+    }
+}
+
+Tensor
+PositionalEncoding::forward(const Tensor &input)
+{
+    CQ_ASSERT(input.ndim() == 2 && input.dim(1) == table_.dim(1) &&
+              input.dim(0) % seqLen_ == 0);
+    Tensor out = input;
+    for (std::size_t r = 0; r < input.dim(0); ++r) {
+        const std::size_t t = r % seqLen_;
+        for (std::size_t d = 0; d < input.dim(1); ++d)
+            out.at2(r, d) += table_.at2(t, d);
+    }
+    return out;
+}
+
+Tensor
+PositionalEncoding::backward(const Tensor &grad_output)
+{
+    return grad_output; // additive constant: identity gradient
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(
+    std::string name, std::size_t batch, std::size_t seq_len,
+    std::size_t model_dim, std::size_t num_heads, Rng &rng)
+    : name_(std::move(name)),
+      batch_(batch),
+      seqLen_(seq_len),
+      modelDim_(model_dim),
+      numHeads_(num_heads),
+      headDim_(model_dim / num_heads),
+      projQ_(name_ + ".q", model_dim, model_dim, rng),
+      projK_(name_ + ".k", model_dim, model_dim, rng),
+      projV_(name_ + ".v", model_dim, model_dim, rng),
+      projOut_(name_ + ".out", model_dim, model_dim, rng)
+{
+    CQ_ASSERT_MSG(model_dim % num_heads == 0,
+                  "model dim %zu not divisible by heads %zu",
+                  model_dim, num_heads);
+}
+
+Tensor
+MultiHeadSelfAttention::forward(const Tensor &input)
+{
+    CQ_ASSERT(input.ndim() == 2 && input.dim(0) == batch_ * seqLen_ &&
+              input.dim(1) == modelDim_);
+
+    cachedQ_ = projQ_.forward(input);
+    cachedK_ = projK_.forward(input);
+    cachedV_ = projV_.forward(input);
+
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(headDim_));
+
+    cachedAttn_ = Tensor({batch_, numHeads_, seqLen_, seqLen_});
+    Tensor context({batch_ * seqLen_, modelDim_});
+
+    // Per (batch, head): scores = Q K^T / sqrt(d); softmax rows;
+    // context = attn V.
+    for (std::size_t b = 0; b < batch_; ++b) {
+        for (std::size_t hh = 0; hh < numHeads_; ++hh) {
+            const std::size_t off = hh * headDim_;
+            Tensor scores({seqLen_, seqLen_});
+            for (std::size_t i = 0; i < seqLen_; ++i) {
+                const std::size_t ri = b * seqLen_ + i;
+                for (std::size_t j = 0; j < seqLen_; ++j) {
+                    const std::size_t rj = b * seqLen_ + j;
+                    double dot = 0.0;
+                    for (std::size_t d = 0; d < headDim_; ++d)
+                        dot += static_cast<double>(
+                                   cachedQ_.at2(ri, off + d)) *
+                               cachedK_.at2(rj, off + d);
+                    scores.at2(i, j) =
+                        static_cast<float>(dot) * inv_sqrt_d;
+                }
+            }
+            const Tensor attn = softmax(scores);
+            for (std::size_t i = 0; i < seqLen_; ++i)
+                for (std::size_t j = 0; j < seqLen_; ++j)
+                    cachedAttn_[((b * numHeads_ + hh) * seqLen_ + i) *
+                                    seqLen_ + j] = attn.at2(i, j);
+            for (std::size_t i = 0; i < seqLen_; ++i) {
+                const std::size_t ri = b * seqLen_ + i;
+                for (std::size_t d = 0; d < headDim_; ++d) {
+                    double acc = 0.0;
+                    for (std::size_t j = 0; j < seqLen_; ++j) {
+                        const std::size_t rj = b * seqLen_ + j;
+                        acc += static_cast<double>(attn.at2(i, j)) *
+                               cachedV_.at2(rj, off + d);
+                    }
+                    context.at2(ri, off + d) = static_cast<float>(acc);
+                }
+            }
+        }
+    }
+    return projOut_.forward(context);
+}
+
+Tensor
+MultiHeadSelfAttention::backward(const Tensor &grad_output)
+{
+    // Through the output projection first.
+    Tensor dcontext = projOut_.backward(grad_output);
+
+    Tensor dq(cachedQ_.shape());
+    Tensor dk(cachedK_.shape());
+    Tensor dv(cachedV_.shape());
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(headDim_));
+
+    for (std::size_t b = 0; b < batch_; ++b) {
+        for (std::size_t hh = 0; hh < numHeads_; ++hh) {
+            const std::size_t off = hh * headDim_;
+            // dAttn = dcontext V^T ; dV = attn^T dcontext.
+            Tensor dattn({seqLen_, seqLen_});
+            for (std::size_t i = 0; i < seqLen_; ++i) {
+                const std::size_t ri = b * seqLen_ + i;
+                for (std::size_t j = 0; j < seqLen_; ++j) {
+                    const std::size_t rj = b * seqLen_ + j;
+                    double acc = 0.0;
+                    for (std::size_t d = 0; d < headDim_; ++d)
+                        acc += static_cast<double>(
+                                   dcontext.at2(ri, off + d)) *
+                               cachedV_.at2(rj, off + d);
+                    dattn.at2(i, j) = static_cast<float>(acc);
+                }
+            }
+            for (std::size_t j = 0; j < seqLen_; ++j) {
+                const std::size_t rj = b * seqLen_ + j;
+                for (std::size_t d = 0; d < headDim_; ++d) {
+                    double acc = 0.0;
+                    for (std::size_t i = 0; i < seqLen_; ++i) {
+                        const float a =
+                            cachedAttn_[((b * numHeads_ + hh) *
+                                             seqLen_ + i) * seqLen_ + j];
+                        acc += static_cast<double>(a) *
+                               dcontext.at2(b * seqLen_ + i, off + d);
+                    }
+                    dv.at2(rj, off + d) += static_cast<float>(acc);
+                }
+            }
+            // Softmax backward per row: ds = attn * (dattn - sum_j
+            // dattn*attn).
+            Tensor dscores({seqLen_, seqLen_});
+            for (std::size_t i = 0; i < seqLen_; ++i) {
+                double row_dot = 0.0;
+                for (std::size_t j = 0; j < seqLen_; ++j) {
+                    const float a =
+                        cachedAttn_[((b * numHeads_ + hh) * seqLen_ +
+                                         i) * seqLen_ + j];
+                    row_dot += static_cast<double>(a) * dattn.at2(i, j);
+                }
+                for (std::size_t j = 0; j < seqLen_; ++j) {
+                    const float a =
+                        cachedAttn_[((b * numHeads_ + hh) * seqLen_ +
+                                         i) * seqLen_ + j];
+                    dscores.at2(i, j) = static_cast<float>(
+                        a * (dattn.at2(i, j) - row_dot));
+                }
+            }
+            // dQ = dscores K / sqrt(d) ; dK = dscores^T Q / sqrt(d).
+            for (std::size_t i = 0; i < seqLen_; ++i) {
+                const std::size_t ri = b * seqLen_ + i;
+                for (std::size_t d = 0; d < headDim_; ++d) {
+                    double accq = 0.0;
+                    for (std::size_t j = 0; j < seqLen_; ++j)
+                        accq += static_cast<double>(dscores.at2(i, j)) *
+                                cachedK_.at2(b * seqLen_ + j, off + d);
+                    dq.at2(ri, off + d) +=
+                        static_cast<float>(accq) * inv_sqrt_d;
+                }
+            }
+            for (std::size_t j = 0; j < seqLen_; ++j) {
+                const std::size_t rj = b * seqLen_ + j;
+                for (std::size_t d = 0; d < headDim_; ++d) {
+                    double acck = 0.0;
+                    for (std::size_t i = 0; i < seqLen_; ++i)
+                        acck += static_cast<double>(dscores.at2(i, j)) *
+                                cachedQ_.at2(b * seqLen_ + i, off + d);
+                    dk.at2(rj, off + d) +=
+                        static_cast<float>(acck) * inv_sqrt_d;
+                }
+            }
+        }
+    }
+
+    // Back through the input projections; input gradient sums the
+    // three paths.
+    Tensor dx = projQ_.backward(dq);
+    accumulate(dx, projK_.backward(dk));
+    accumulate(dx, projV_.backward(dv));
+    return dx;
+}
+
+std::vector<Param *>
+MultiHeadSelfAttention::params()
+{
+    std::vector<Param *> out;
+    for (Layer *l : {static_cast<Layer *>(&projQ_),
+                     static_cast<Layer *>(&projK_),
+                     static_cast<Layer *>(&projV_),
+                     static_cast<Layer *>(&projOut_)}) {
+        for (Param *p : l->params())
+            out.push_back(p);
+    }
+    return out;
+}
+
+TransformerBlock::TransformerBlock(std::string name, std::size_t batch,
+                                   std::size_t seq_len,
+                                   std::size_t model_dim,
+                                   std::size_t num_heads,
+                                   std::size_t ffn_dim, Rng &rng)
+    : name_(std::move(name)),
+      norm1_(name_ + ".ln1", model_dim),
+      attn_(name_ + ".attn", batch, seq_len, model_dim, num_heads, rng),
+      norm2_(name_ + ".ln2", model_dim),
+      ffn1_(name_ + ".ffn1", model_dim, ffn_dim, rng),
+      ffn2_(name_ + ".ffn2", ffn_dim, model_dim, rng),
+      gelu_(std::make_unique<Activation>(name_ + ".gelu", ActKind::Gelu))
+{
+}
+
+Tensor
+TransformerBlock::forward(const Tensor &input)
+{
+    // x1 = x + attn(ln1(x))
+    Tensor x1 = input;
+    accumulate(x1, attn_.forward(norm1_.forward(input)));
+    // x2 = x1 + ffn2(gelu(ffn1(ln2(x1))))
+    Tensor x2 = x1;
+    accumulate(x2, ffn2_.forward(
+                       gelu_->forward(ffn1_.forward(norm2_.forward(x1)))));
+    return x2;
+}
+
+Tensor
+TransformerBlock::backward(const Tensor &grad_output)
+{
+    // Residual 2: dx1 = dy + ln2.backward(ffn path backward(dy)).
+    Tensor dffn = ffn2_.backward(grad_output);
+    dffn = gelu_->backward(dffn);
+    dffn = ffn1_.backward(dffn);
+    Tensor dx1 = grad_output;
+    accumulate(dx1, norm2_.backward(dffn));
+    // Residual 1: dx = dx1 + ln1.backward(attn.backward(dx1)).
+    Tensor dattn = attn_.backward(dx1);
+    Tensor dx = dx1;
+    accumulate(dx, norm1_.backward(dattn));
+    return dx;
+}
+
+std::vector<Param *>
+TransformerBlock::params()
+{
+    std::vector<Param *> out;
+    for (Param *p : norm1_.params())
+        out.push_back(p);
+    for (Param *p : attn_.params())
+        out.push_back(p);
+    for (Param *p : norm2_.params())
+        out.push_back(p);
+    for (Param *p : ffn1_.params())
+        out.push_back(p);
+    for (Param *p : ffn2_.params())
+        out.push_back(p);
+    return out;
+}
+
+} // namespace cq::nn

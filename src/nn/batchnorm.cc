@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Implementation of 2-d batch normalization.
+ */
+
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cq::nn {
+
+BatchNorm2d::BatchNorm2d(std::string name, std::size_t channels,
+                         float momentum, float eps)
+    : name_(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gain_(name_ + ".gain", {channels}),
+      bias_(name_ + ".bias", {channels}),
+      runningMean_({channels}),
+      runningVar_({channels}, 1.0f)
+{
+    gain_.value.fill(1.0f);
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &input)
+{
+    CQ_ASSERT_MSG(input.ndim() == 4 && input.dim(1) == channels_,
+                  "%s: bad input shape %s", name_.c_str(),
+                  shapeToString(input.shape()).c_str());
+    const std::size_t n = input.dim(0), h = input.dim(2),
+                      w = input.dim(3);
+    const double count = static_cast<double>(n * h * w);
+    cachedShape_ = input.shape();
+    cachedNorm_ = Tensor(input.shape());
+    cachedInvStd_.assign(channels_, 0.0f);
+
+    Tensor out(input.shape());
+    for (std::size_t c = 0; c < channels_; ++c) {
+        double mean, var;
+        if (training_) {
+            double sum = 0.0, sum2 = 0.0;
+            for (std::size_t in = 0; in < n; ++in)
+                for (std::size_t y = 0; y < h; ++y)
+                    for (std::size_t x = 0; x < w; ++x) {
+                        const double v = input.at4(in, c, y, x);
+                        sum += v;
+                        sum2 += v * v;
+                    }
+            mean = sum / count;
+            var = sum2 / count - mean * mean;
+            var = std::max(var, 0.0);
+            runningMean_[c] = (1.0f - momentum_) * runningMean_[c] +
+                              momentum_ * static_cast<float>(mean);
+            runningVar_[c] = (1.0f - momentum_) * runningVar_[c] +
+                             momentum_ * static_cast<float>(var);
+        } else {
+            mean = runningMean_[c];
+            var = runningVar_[c];
+        }
+        const float inv_std =
+            1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        cachedInvStd_[c] = inv_std;
+        for (std::size_t in = 0; in < n; ++in)
+            for (std::size_t y = 0; y < h; ++y)
+                for (std::size_t x = 0; x < w; ++x) {
+                    const float norm =
+                        (input.at4(in, c, y, x) -
+                         static_cast<float>(mean)) *
+                        inv_std;
+                    cachedNorm_.at4(in, c, y, x) = norm;
+                    out.at4(in, c, y, x) =
+                        norm * gain_.value[c] + bias_.value[c];
+                }
+    }
+    return out;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &grad_output)
+{
+    CQ_ASSERT(grad_output.shape() == cachedShape_);
+    const std::size_t n = cachedShape_[0], h = cachedShape_[2],
+                      w = cachedShape_[3];
+    const double count = static_cast<double>(n * h * w);
+    Tensor grad_in(cachedShape_);
+
+    for (std::size_t c = 0; c < channels_; ++c) {
+        // Standard batch-norm backward: with xhat normalized,
+        // dx = inv_std/count * (count*dxhat - sum(dxhat)
+        //      - xhat * sum(dxhat*xhat))  (training mode).
+        double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+        for (std::size_t in = 0; in < n; ++in)
+            for (std::size_t y = 0; y < h; ++y)
+                for (std::size_t x = 0; x < w; ++x) {
+                    const float dy = grad_output.at4(in, c, y, x);
+                    const float xhat = cachedNorm_.at4(in, c, y, x);
+                    const float dxhat = dy * gain_.value[c];
+                    sum_dxhat += dxhat;
+                    sum_dxhat_xhat += dxhat * xhat;
+                    gain_.grad[c] += dy * xhat;
+                    bias_.grad[c] += dy;
+                }
+        for (std::size_t in = 0; in < n; ++in)
+            for (std::size_t y = 0; y < h; ++y)
+                for (std::size_t x = 0; x < w; ++x) {
+                    const float xhat = cachedNorm_.at4(in, c, y, x);
+                    const float dxhat =
+                        grad_output.at4(in, c, y, x) * gain_.value[c];
+                    double dx;
+                    if (training_) {
+                        dx = (dxhat - sum_dxhat / count -
+                              xhat * sum_dxhat_xhat / count) *
+                             cachedInvStd_[c];
+                    } else {
+                        dx = dxhat * cachedInvStd_[c];
+                    }
+                    grad_in.at4(in, c, y, x) =
+                        static_cast<float>(dx);
+                }
+    }
+    return grad_in;
+}
+
+} // namespace cq::nn

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * 2-d batch normalization.
+ */
+
+#ifndef CQ_NN_BATCHNORM_H
+#define CQ_NN_BATCHNORM_H
+
+#include "nn/layer.h"
+
+namespace cq::nn {
+
+/**
+ * Batch normalization over NCHW inputs: per-channel statistics across
+ * (N, H, W) with learned gain/bias and running statistics for
+ * evaluation mode. Training networks in the benchmark set (ResNet,
+ * GoogLeNet) rely on it for trainability at depth.
+ */
+class BatchNorm2d : public Layer
+{
+  public:
+    BatchNorm2d(std::string name, std::size_t channels,
+                float momentum = 0.1f, float eps = 1e-5f);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param *> params() override { return {&gain_, &bias_}; }
+
+    /** Switch between minibatch statistics and running statistics. */
+    void setTraining(bool training) { training_ = training; }
+    bool training() const { return training_; }
+
+    const Tensor &runningMean() const { return runningMean_; }
+    const Tensor &runningVar() const { return runningVar_; }
+
+  private:
+    std::string name_;
+    std::size_t channels_;
+    float momentum_;
+    float eps_;
+    bool training_ = true;
+    Param gain_;
+    Param bias_;
+    Tensor runningMean_;
+    Tensor runningVar_;
+
+    // Caches for backward.
+    Tensor cachedNorm_;               ///< normalized activations
+    std::vector<float> cachedInvStd_; ///< per channel
+    Shape cachedShape_;
+};
+
+} // namespace cq::nn
+
+#endif // CQ_NN_BATCHNORM_H

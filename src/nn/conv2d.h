@@ -1,0 +1,48 @@
+/**
+ * @file
+ * 2-d convolution layer (im2col + GEMM lowering).
+ */
+
+#ifndef CQ_NN_CONV2D_H
+#define CQ_NN_CONV2D_H
+
+#include "common/rng.h"
+#include "nn/layer.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq::nn {
+
+/**
+ * Convolution over NCHW inputs. The forward/backward implementation
+ * lowers to GEMM via im2col/col2im, which is exactly the lowering the
+ * compiler uses when emitting CONV for the PE array, so this layer
+ * doubles as the functional reference for that instruction.
+ */
+class Conv2d : public Layer
+{
+  public:
+    Conv2d(std::string name, Conv2dGeometry geometry, Rng &rng,
+           bool bias = true);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param *> params() override;
+
+    const Conv2dGeometry &geometry() const { return geom_; }
+    Param &weight() { return weight_; }
+
+  private:
+    std::string name_;
+    Conv2dGeometry geom_;
+    bool hasBias_;
+    /** Stored as (C*R*S, K) so forward is cols x weight. */
+    Param weight_;
+    Param bias_;
+    Tensor cachedCols_;
+    Shape cachedInputShape_;
+};
+
+} // namespace cq::nn
+
+#endif // CQ_NN_CONV2D_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Layer abstraction for the DNN training framework.
+ *
+ * Layers implement forward() and backward() with internal caching of
+ * whatever the backward pass needs (the standard define-by-run
+ * training contract). Parameters are exposed as Param records so the
+ * trainer can keep FP32 master copies and swap quantized values in,
+ * mirroring how Cambricon-Q keeps master weights in DRAM while the
+ * acceleration core computes on quantized copies.
+ */
+
+#ifndef CQ_NN_LAYER_H
+#define CQ_NN_LAYER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cq::nn {
+
+/** A trainable parameter: value plus gradient accumulated by backward. */
+struct Param
+{
+    std::string name;
+    Tensor value;
+    Tensor grad;
+
+    explicit Param(std::string n, Shape shape)
+        : name(std::move(n)), value(shape), grad(std::move(shape))
+    {
+    }
+
+    /** Zero the gradient before a new minibatch. */
+    void zeroGrad() { grad.fill(0.0f); }
+};
+
+/** Abstract base class of all layers. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Human-readable layer name (unique within a network). */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Compute the layer output for @p input, caching activations
+     * needed by backward().
+     */
+    virtual Tensor forward(const Tensor &input) = 0;
+
+    /**
+     * Given the loss gradient w.r.t. the layer output, accumulate
+     * parameter gradients and return the gradient w.r.t. the input.
+     * Must be called after forward() on the same input.
+     */
+    virtual Tensor backward(const Tensor &grad_output) = 0;
+
+    /** Trainable parameters; empty for stateless layers. */
+    virtual std::vector<Param *> params() { return {}; }
+
+    /** Clear gradients of all parameters. */
+    void
+    zeroGrads()
+    {
+        for (Param *p : params())
+            p->zeroGrad();
+    }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace cq::nn
+
+#endif // CQ_NN_LAYER_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of layer normalization.
+ */
+
+#include "nn/layernorm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cq::nn {
+
+LayerNorm::LayerNorm(std::string name, std::size_t features, float eps)
+    : name_(std::move(name)),
+      features_(features),
+      eps_(eps),
+      gain_(name_ + ".gain", {features}),
+      bias_(name_ + ".bias", {features})
+{
+    gain_.value.fill(1.0f);
+}
+
+Tensor
+LayerNorm::forward(const Tensor &input)
+{
+    CQ_ASSERT_MSG(input.ndim() == 2 && input.dim(1) == features_,
+                  "%s: bad input shape %s", name_.c_str(),
+                  shapeToString(input.shape()).c_str());
+    const std::size_t rows = input.dim(0);
+    cachedNorm_ = Tensor(input.shape());
+    cachedInvStd_.assign(rows, 0.0f);
+
+    Tensor out(input.shape());
+    for (std::size_t r = 0; r < rows; ++r) {
+        double mean = 0.0;
+        for (std::size_t f = 0; f < features_; ++f)
+            mean += input.at2(r, f);
+        mean /= static_cast<double>(features_);
+        double var = 0.0;
+        for (std::size_t f = 0; f < features_; ++f) {
+            const double d = input.at2(r, f) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(features_);
+        const float inv_std =
+            1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        cachedInvStd_[r] = inv_std;
+        for (std::size_t f = 0; f < features_; ++f) {
+            const float norm =
+                (input.at2(r, f) - static_cast<float>(mean)) * inv_std;
+            cachedNorm_.at2(r, f) = norm;
+            out.at2(r, f) = norm * gain_.value[f] + bias_.value[f];
+        }
+    }
+    return out;
+}
+
+Tensor
+LayerNorm::backward(const Tensor &grad_output)
+{
+    CQ_ASSERT(grad_output.shape() == cachedNorm_.shape());
+    const std::size_t rows = grad_output.dim(0);
+    Tensor grad_in(grad_output.shape());
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        // Gradients through the normalization: with xhat the normalized
+        // value, dxhat = dy * gain; dx = inv_std * (dxhat - mean(dxhat)
+        // - xhat * mean(dxhat * xhat)).
+        double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+        for (std::size_t f = 0; f < features_; ++f) {
+            const float dxhat = grad_output.at2(r, f) * gain_.value[f];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * cachedNorm_.at2(r, f);
+        }
+        const double n = static_cast<double>(features_);
+        for (std::size_t f = 0; f < features_; ++f) {
+            const float xhat = cachedNorm_.at2(r, f);
+            const float dy = grad_output.at2(r, f);
+            const float dxhat = dy * gain_.value[f];
+            grad_in.at2(r, f) = static_cast<float>(
+                cachedInvStd_[r] *
+                (dxhat - sum_dxhat / n - xhat * sum_dxhat_xhat / n));
+            gain_.grad[f] += dy * xhat;
+            bias_.grad[f] += dy;
+        }
+    }
+    return grad_in;
+}
+
+} // namespace cq::nn

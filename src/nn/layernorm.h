@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Layer normalization.
+ */
+
+#ifndef CQ_NN_LAYERNORM_H
+#define CQ_NN_LAYERNORM_H
+
+#include "nn/layer.h"
+
+namespace cq::nn {
+
+/**
+ * Layer normalization over the last dimension of a 2-d (rows, features)
+ * input, with learned gain/bias. Used by the Transformer encoder block.
+ */
+class LayerNorm : public Layer
+{
+  public:
+    LayerNorm(std::string name, std::size_t features, float eps = 1e-5f);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param *> params() override { return {&gain_, &bias_}; }
+
+  private:
+    std::string name_;
+    std::size_t features_;
+    float eps_;
+    Param gain_;
+    Param bias_;
+    Tensor cachedNorm_;    ///< normalized (pre-gain) values
+    std::vector<float> cachedInvStd_;
+};
+
+} // namespace cq::nn
+
+#endif // CQ_NN_LAYERNORM_H

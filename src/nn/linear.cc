@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Implementation of the linear layer.
+ */
+
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq::nn {
+
+Linear::Linear(std::string name, std::size_t in_features,
+               std::size_t out_features, Rng &rng, bool bias)
+    : name_(std::move(name)),
+      inFeatures_(in_features),
+      outFeatures_(out_features),
+      hasBias_(bias),
+      weight_(name_ + ".weight", {in_features, out_features}),
+      bias_(name_ + ".bias", {out_features})
+{
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(in_features));
+    weight_.value.fillUniform(rng, -bound, bound);
+}
+
+Tensor
+Linear::forward(const Tensor &input)
+{
+    CQ_ASSERT_MSG(input.ndim() == 2 && input.dim(1) == inFeatures_,
+                  "%s: bad input shape %s", name_.c_str(),
+                  shapeToString(input.shape()).c_str());
+    cachedInput_ = input;
+    Tensor out = matmul(input, weight_.value);
+    if (hasBias_) {
+        const std::size_t batch = out.dim(0);
+        for (std::size_t i = 0; i < batch; ++i)
+            for (std::size_t j = 0; j < outFeatures_; ++j)
+                out.at2(i, j) += bias_.value[j];
+    }
+    return out;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_output)
+{
+    CQ_ASSERT(grad_output.ndim() == 2 &&
+              grad_output.dim(1) == outFeatures_);
+    CQ_ASSERT(cachedInput_.numel() > 0);
+
+    // dW = x^T * dy
+    accumulate(weight_.grad, matmulTransA(cachedInput_, grad_output));
+    if (hasBias_) {
+        const std::size_t batch = grad_output.dim(0);
+        for (std::size_t i = 0; i < batch; ++i)
+            for (std::size_t j = 0; j < outFeatures_; ++j)
+                bias_.grad[j] += grad_output.at2(i, j);
+    }
+    // dx = dy * W^T
+    return matmulTransB(grad_output, weight_.value);
+}
+
+std::vector<Param *>
+Linear::params()
+{
+    if (hasBias_)
+        return {&weight_, &bias_};
+    return {&weight_};
+}
+
+} // namespace cq::nn

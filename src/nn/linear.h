@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fully-connected (linear) layer.
+ */
+
+#ifndef CQ_NN_LINEAR_H
+#define CQ_NN_LINEAR_H
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace cq::nn {
+
+/**
+ * y = x * W + b for x of shape (batch, in), W of shape (in, out).
+ * Weight initialization is Kaiming-uniform scaled for the fan-in.
+ */
+class Linear : public Layer
+{
+  public:
+    Linear(std::string name, std::size_t in_features,
+           std::size_t out_features, Rng &rng, bool bias = true);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param *> params() override;
+
+    std::size_t inFeatures() const { return inFeatures_; }
+    std::size_t outFeatures() const { return outFeatures_; }
+
+    Param &weight() { return weight_; }
+    Param &bias() { return bias_; }
+
+  private:
+    std::string name_;
+    std::size_t inFeatures_;
+    std::size_t outFeatures_;
+    bool hasBias_;
+    Param weight_;
+    Param bias_;
+    Tensor cachedInput_;
+};
+
+} // namespace cq::nn
+
+#endif // CQ_NN_LINEAR_H

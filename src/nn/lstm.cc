@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Implementation of the LSTM layer.
+ */
+
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq::nn {
+
+namespace {
+
+float
+sigmoidf(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+Lstm::Lstm(std::string name, std::size_t input_size,
+           std::size_t hidden_size, Rng &rng)
+    : name_(std::move(name)),
+      inputSize_(input_size),
+      hiddenSize_(hidden_size),
+      wx_(name_ + ".wx", {input_size, 4 * hidden_size}),
+      wh_(name_ + ".wh", {hidden_size, 4 * hidden_size}),
+      bias_(name_ + ".bias", {4 * hidden_size})
+{
+    const float bx = std::sqrt(6.0f / static_cast<float>(input_size));
+    const float bh = std::sqrt(6.0f / static_cast<float>(hidden_size));
+    wx_.value.fillUniform(rng, -bx, bx);
+    wh_.value.fillUniform(rng, -bh, bh);
+    // Bias the forget gate open, the usual LSTM initialization trick.
+    for (std::size_t j = hiddenSize_; j < 2 * hiddenSize_; ++j)
+        bias_.value[j] = 1.0f;
+}
+
+Tensor
+Lstm::forward(const Tensor &input)
+{
+    CQ_ASSERT_MSG(input.ndim() == 3 && input.dim(2) == inputSize_,
+                  "%s: bad input shape %s", name_.c_str(),
+                  shapeToString(input.shape()).c_str());
+    const std::size_t t_steps = input.dim(0);
+    const std::size_t batch = input.dim(1);
+    const std::size_t h = hiddenSize_;
+
+    cachedInput_ = input;
+    gateActs_.assign(t_steps, Tensor());
+    cellStates_.assign(t_steps, Tensor());
+    hiddenStates_.assign(t_steps, Tensor());
+
+    Tensor h_prev({batch, h});
+    Tensor c_prev({batch, h});
+    Tensor output({t_steps, batch, h});
+
+    for (std::size_t t = 0; t < t_steps; ++t) {
+        // x_t: (B, I) view of the input slab.
+        Tensor x_t({batch, inputSize_});
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t i = 0; i < inputSize_; ++i)
+                x_t.at2(b, i) =
+                    input[(t * batch + b) * inputSize_ + i];
+
+        // Pre-activations: x_t Wx + h_prev Wh + bias.
+        Tensor pre = matmul(x_t, wx_.value);
+        accumulate(pre, matmul(h_prev, wh_.value));
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < 4 * h; ++j)
+                pre.at2(b, j) += bias_.value[j];
+
+        // Gate activations (i, f, o sigmoid; g tanh) and state update.
+        Tensor acts({batch, 4 * h});
+        Tensor c_t({batch, h});
+        Tensor h_t({batch, h});
+        for (std::size_t b = 0; b < batch; ++b) {
+            for (std::size_t j = 0; j < h; ++j) {
+                const float ig = sigmoidf(pre.at2(b, j));
+                const float fg = sigmoidf(pre.at2(b, h + j));
+                const float gg = std::tanh(pre.at2(b, 2 * h + j));
+                const float og = sigmoidf(pre.at2(b, 3 * h + j));
+                acts.at2(b, j) = ig;
+                acts.at2(b, h + j) = fg;
+                acts.at2(b, 2 * h + j) = gg;
+                acts.at2(b, 3 * h + j) = og;
+                const float c = fg * c_prev.at2(b, j) + ig * gg;
+                c_t.at2(b, j) = c;
+                h_t.at2(b, j) = og * std::tanh(c);
+            }
+        }
+
+        gateActs_[t] = acts;
+        cellStates_[t] = c_t;
+        hiddenStates_[t] = h_t;
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < h; ++j)
+                output[(t * batch + b) * h + j] = h_t.at2(b, j);
+        h_prev = h_t;
+        c_prev = c_t;
+    }
+    return output;
+}
+
+Tensor
+Lstm::backward(const Tensor &grad_output)
+{
+    const std::size_t t_steps = cachedInput_.dim(0);
+    const std::size_t batch = cachedInput_.dim(1);
+    const std::size_t h = hiddenSize_;
+    CQ_ASSERT(grad_output.ndim() == 3 && grad_output.dim(0) == t_steps &&
+              grad_output.dim(1) == batch && grad_output.dim(2) == h);
+
+    Tensor grad_input(cachedInput_.shape());
+    Tensor dh_next({batch, h});
+    Tensor dc_next({batch, h});
+
+    for (std::size_t t = t_steps; t-- > 0;) {
+        const Tensor &acts = gateActs_[t];
+        const Tensor &c_t = cellStates_[t];
+        const Tensor *c_prev = t > 0 ? &cellStates_[t - 1] : nullptr;
+        const Tensor *h_prev = t > 0 ? &hiddenStates_[t - 1] : nullptr;
+
+        // dh: incoming from output slice plus recurrent path.
+        Tensor dh = dh_next;
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < h; ++j)
+                dh.at2(b, j) += grad_output[(t * batch + b) * h + j];
+
+        // Backward through the cell update into gate pre-activations.
+        Tensor dpre({batch, 4 * h});
+        Tensor dc({batch, h});
+        for (std::size_t b = 0; b < batch; ++b) {
+            for (std::size_t j = 0; j < h; ++j) {
+                const float ig = acts.at2(b, j);
+                const float fg = acts.at2(b, h + j);
+                const float gg = acts.at2(b, 2 * h + j);
+                const float og = acts.at2(b, 3 * h + j);
+                const float tanh_c = std::tanh(c_t.at2(b, j));
+                const float dval = dh.at2(b, j);
+
+                const float dct = dval * og * (1.0f - tanh_c * tanh_c) +
+                                  dc_next.at2(b, j);
+                dc.at2(b, j) = dct;
+
+                const float cprev =
+                    c_prev ? c_prev->at2(b, j) : 0.0f;
+
+                dpre.at2(b, j) = dct * gg * ig * (1.0f - ig);
+                dpre.at2(b, h + j) = dct * cprev * fg * (1.0f - fg);
+                dpre.at2(b, 2 * h + j) = dct * ig * (1.0f - gg * gg);
+                dpre.at2(b, 3 * h + j) =
+                    dval * tanh_c * og * (1.0f - og);
+            }
+        }
+
+        // Parameter gradients.
+        Tensor x_t({batch, inputSize_});
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t i = 0; i < inputSize_; ++i)
+                x_t.at2(b, i) =
+                    cachedInput_[(t * batch + b) * inputSize_ + i];
+        accumulate(wx_.grad, matmulTransA(x_t, dpre));
+        if (h_prev)
+            accumulate(wh_.grad, matmulTransA(*h_prev, dpre));
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < 4 * h; ++j)
+                bias_.grad[j] += dpre.at2(b, j);
+
+        // Input gradient and recurrent carries.
+        Tensor dx = matmulTransB(dpre, wx_.value);
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t i = 0; i < inputSize_; ++i)
+                grad_input[(t * batch + b) * inputSize_ + i] =
+                    dx.at2(b, i);
+
+        dh_next = matmulTransB(dpre, wh_.value);
+        // dc carried back through the forget gate.
+        for (std::size_t b = 0; b < batch; ++b)
+            for (std::size_t j = 0; j < h; ++j)
+                dc_next.at2(b, j) = dc.at2(b, j) * acts.at2(b, h + j);
+    }
+    return grad_input;
+}
+
+std::vector<Param *>
+Lstm::params()
+{
+    return {&wx_, &wh_, &bias_};
+}
+
+} // namespace cq::nn

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Implementation of the sequential network.
+ */
+
+#include "nn/network.h"
+
+#include "common/logging.h"
+
+namespace cq::nn {
+
+Network &
+Network::add(LayerPtr layer)
+{
+    CQ_ASSERT(layer != nullptr);
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Tensor
+Network::forward(const Tensor &input, const TensorHook &hook)
+{
+    Tensor x = input;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (hook)
+            x = hook(x, i);
+        x = layers_[i]->forward(x);
+    }
+    return x;
+}
+
+Tensor
+Network::backward(const Tensor &grad_output, const TensorHook &hook)
+{
+    Tensor g = grad_output;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        if (hook)
+            g = hook(g, i);
+        g = layers_[i]->backward(g);
+    }
+    return g;
+}
+
+std::vector<Param *>
+Network::params()
+{
+    std::vector<Param *> out;
+    for (auto &l : layers_)
+        for (Param *p : l->params())
+            out.push_back(p);
+    return out;
+}
+
+void
+Network::zeroGrads()
+{
+    for (auto &l : layers_)
+        l->zeroGrads();
+}
+
+std::size_t
+Network::numParams()
+{
+    std::size_t n = 0;
+    for (Param *p : params())
+        n += p->value.numel();
+    return n;
+}
+
+} // namespace cq::nn

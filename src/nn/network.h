@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sequential network container.
+ */
+
+#ifndef CQ_NN_NETWORK_H
+#define CQ_NN_NETWORK_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace cq::nn {
+
+/**
+ * A sequential stack of layers. Between layers the forward/backward
+ * passes can be intercepted by hooks; the quantized trainer uses these
+ * to inject activation / neuron-gradient quantization exactly where
+ * the SQU would quantize data crossing the memory boundary.
+ */
+class Network
+{
+  public:
+    /** Hook: (tensor, producing/consuming layer index) -> tensor. */
+    using TensorHook =
+        std::function<Tensor(const Tensor &, std::size_t)>;
+
+    Network() = default;
+
+    /** Append a layer; returns a reference for chaining. */
+    Network &add(LayerPtr layer);
+
+    /** Number of layers. */
+    std::size_t size() const { return layers_.size(); }
+    Layer &layer(std::size_t i) { return *layers_[i]; }
+
+    /**
+     * Forward through all layers. When @p hook is set it is applied to
+     * the *input* of every layer (index = consuming layer).
+     */
+    Tensor forward(const Tensor &input, const TensorHook &hook = {});
+
+    /**
+     * Backward through all layers. When @p hook is set it is applied
+     * to the gradient flowing *into* every layer's backward (index =
+     * the layer about to consume the gradient).
+     */
+    Tensor backward(const Tensor &grad_output,
+                    const TensorHook &hook = {});
+
+    /** All parameters of all layers. */
+    std::vector<Param *> params();
+
+    /** Zero all parameter gradients. */
+    void zeroGrads();
+
+    /** Total number of trainable scalars. */
+    std::size_t numParams();
+
+  private:
+    std::vector<LayerPtr> layers_;
+};
+
+} // namespace cq::nn
+
+#endif // CQ_NN_NETWORK_H

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Implementation of pooling layers.
+ */
+
+#include "nn/pooling.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cq::nn {
+
+MaxPool2d::MaxPool2d(std::string name, std::size_t window,
+                     std::size_t stride)
+    : name_(std::move(name)), window_(window), stride_(stride)
+{
+    CQ_ASSERT(window_ > 0 && stride_ > 0);
+}
+
+Tensor
+MaxPool2d::forward(const Tensor &input)
+{
+    CQ_ASSERT(input.ndim() == 4);
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    CQ_ASSERT(h >= window_ && w >= window_);
+    const std::size_t p = (h - window_) / stride_ + 1;
+    const std::size_t q = (w - window_) / stride_ + 1;
+
+    cachedInputShape_ = input.shape();
+    Tensor out({n, c, p, q});
+    argmax_.assign(out.numel(), 0);
+
+    std::size_t oi = 0;
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t ic = 0; ic < c; ++ic)
+            for (std::size_t oy = 0; oy < p; ++oy)
+                for (std::size_t ox = 0; ox < q; ++ox, ++oi) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::size_t best_idx = 0;
+                    for (std::size_t ky = 0; ky < window_; ++ky)
+                        for (std::size_t kx = 0; kx < window_; ++kx) {
+                            const std::size_t iy = oy * stride_ + ky;
+                            const std::size_t ix = ox * stride_ + kx;
+                            const float v = input.at4(in, ic, iy, ix);
+                            if (v > best) {
+                                best = v;
+                                best_idx =
+                                    ((in * c + ic) * h + iy) * w + ix;
+                            }
+                        }
+                    out[oi] = best;
+                    argmax_[oi] = best_idx;
+                }
+    return out;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &grad_output)
+{
+    CQ_ASSERT(grad_output.numel() == argmax_.size());
+    Tensor grad_in(cachedInputShape_);
+    for (std::size_t i = 0; i < grad_output.numel(); ++i)
+        grad_in[argmax_[i]] += grad_output[i];
+    return grad_in;
+}
+
+GlobalAvgPool::GlobalAvgPool(std::string name) : name_(std::move(name)) {}
+
+Tensor
+GlobalAvgPool::forward(const Tensor &input)
+{
+    CQ_ASSERT(input.ndim() == 4);
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    cachedInputShape_ = input.shape();
+    Tensor out({n, c});
+    const float inv = 1.0f / static_cast<float>(h * w);
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t ic = 0; ic < c; ++ic) {
+            double s = 0.0;
+            for (std::size_t iy = 0; iy < h; ++iy)
+                for (std::size_t ix = 0; ix < w; ++ix)
+                    s += input.at4(in, ic, iy, ix);
+            out.at2(in, ic) = static_cast<float>(s) * inv;
+        }
+    return out;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &grad_output)
+{
+    const std::size_t n = cachedInputShape_[0], c = cachedInputShape_[1];
+    const std::size_t h = cachedInputShape_[2], w = cachedInputShape_[3];
+    CQ_ASSERT(grad_output.ndim() == 2 && grad_output.dim(0) == n &&
+              grad_output.dim(1) == c);
+    Tensor grad_in(cachedInputShape_);
+    const float inv = 1.0f / static_cast<float>(h * w);
+    for (std::size_t in = 0; in < n; ++in)
+        for (std::size_t ic = 0; ic < c; ++ic) {
+            const float g = grad_output.at2(in, ic) * inv;
+            for (std::size_t iy = 0; iy < h; ++iy)
+                for (std::size_t ix = 0; ix < w; ++ix)
+                    grad_in.at4(in, ic, iy, ix) = g;
+        }
+    return grad_in;
+}
+
+MergeLeading::MergeLeading(std::string name) : name_(std::move(name)) {}
+
+Tensor
+MergeLeading::forward(const Tensor &input)
+{
+    CQ_ASSERT(input.ndim() >= 2);
+    cachedInputShape_ = input.shape();
+    const std::size_t last = input.dim(input.ndim() - 1);
+    Tensor out = input;
+    out.reshape({input.numel() / last, last});
+    return out;
+}
+
+Tensor
+MergeLeading::backward(const Tensor &grad_output)
+{
+    Tensor grad_in = grad_output;
+    grad_in.reshape(cachedInputShape_);
+    return grad_in;
+}
+
+Flatten::Flatten(std::string name) : name_(std::move(name)) {}
+
+Tensor
+Flatten::forward(const Tensor &input)
+{
+    CQ_ASSERT(input.ndim() >= 2);
+    cachedInputShape_ = input.shape();
+    Tensor out = input;
+    out.reshape({input.dim(0), input.numel() / input.dim(0)});
+    return out;
+}
+
+Tensor
+Flatten::backward(const Tensor &grad_output)
+{
+    Tensor grad_in = grad_output;
+    grad_in.reshape(cachedInputShape_);
+    return grad_in;
+}
+
+} // namespace cq::nn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pooling layers.
+ */
+
+#ifndef CQ_NN_POOLING_H
+#define CQ_NN_POOLING_H
+
+#include "nn/layer.h"
+
+namespace cq::nn {
+
+/** 2-d max pooling over NCHW inputs (non-overlapping or strided). */
+class MaxPool2d : public Layer
+{
+  public:
+    MaxPool2d(std::string name, std::size_t window, std::size_t stride);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+  private:
+    std::string name_;
+    std::size_t window_;
+    std::size_t stride_;
+    Shape cachedInputShape_;
+    /** Flat index into the input of each output's argmax element. */
+    std::vector<std::size_t> argmax_;
+};
+
+/** Global average pooling: (N, C, H, W) -> (N, C). */
+class GlobalAvgPool : public Layer
+{
+  public:
+    explicit GlobalAvgPool(std::string name);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+  private:
+    std::string name_;
+    Shape cachedInputShape_;
+};
+
+/**
+ * Merge all leading dims: (A, B, ..., F) -> (A*B*..., F). Used to feed
+ * per-timestep LSTM outputs (T, B, H) into a Linear head as rows.
+ */
+class MergeLeading : public Layer
+{
+  public:
+    explicit MergeLeading(std::string name);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+  private:
+    std::string name_;
+    Shape cachedInputShape_;
+};
+
+/** Flatten: (N, ...) -> (N, prod(...)). */
+class Flatten : public Layer
+{
+  public:
+    explicit Flatten(std::string name);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+
+  private:
+    std::string name_;
+    Shape cachedInputShape_;
+};
+
+} // namespace cq::nn
+
+#endif // CQ_NN_POOLING_H

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Implementation of the quantized training loop.
+ */
+
+#include "nn/quant_trainer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cq::nn {
+
+QuantTrainer::QuantTrainer(Network &network, QuantTrainerConfig config)
+    : network_(network),
+      config_(std::move(config)),
+      optimizer_(config_.optimizer)
+{
+    params_ = network_.params();
+    optimizer_.attach(params_);
+    masters_.reserve(params_.size());
+    for (Param *p : params_)
+        masters_.push_back(p->value);
+}
+
+void
+QuantTrainer::loadQuantizedWeights()
+{
+    using quant::TensorRole;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        // Masters hold the authoritative FP32 weights (DRAM side);
+        // the network computes on the quantized copies the SQU would
+        // produce while streaming weights into SB.
+        params_[i]->value = quant::applyPolicy(
+            masters_[i], config_.algorithm, TensorRole::Weight);
+    }
+}
+
+void
+QuantTrainer::restoreMasterWeights()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        params_[i]->value = masters_[i];
+}
+
+Tensor
+QuantTrainer::forwardQuantized(const Tensor &inputs)
+{
+    using quant::TensorRole;
+    Network::TensorHook hook;
+    if (config_.algorithm.policyFor(TensorRole::Activation).quantize) {
+        hook = [this](const Tensor &x, std::size_t) {
+            return quant::applyPolicy(x, config_.algorithm,
+                                      quant::TensorRole::Activation);
+        };
+    }
+    return network_.forward(inputs, hook);
+}
+
+void
+QuantTrainer::backwardQuantized(const Tensor &grad)
+{
+    using quant::TensorRole;
+    Network::TensorHook hook = [this](const Tensor &g, std::size_t li) {
+        if (config_.recordGradientStats) {
+            gradientRecords_.push_back(
+                GradientRecord{step_, li, g.maxAbs()});
+        }
+        return quant::applyPolicy(g, config_.algorithm,
+                                  quant::TensorRole::NeuronGradient);
+    };
+    network_.backward(grad, hook);
+}
+
+double
+QuantTrainer::stepClassification(const Tensor &inputs,
+                                 const std::vector<int> &labels)
+{
+    ++step_;
+    network_.zeroGrads();
+    loadQuantizedWeights();
+    const Tensor logits = forwardQuantized(inputs);
+    const double loss = lossHead_.loss(logits, labels);
+    backwardQuantized(lossHead_.grad());
+    restoreMasterWeights();
+    // Weight gradients stay FP32 (every algorithm's "special case");
+    // the optimizer updates the masters, which is the computation the
+    // NDP engine performs in place.
+    optimizer_.step();
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        masters_[i] = params_[i]->value;
+    return loss;
+}
+
+double
+QuantTrainer::stepLanguageModel(const Tensor &inputs,
+                                const std::vector<int> &targets,
+                                std::size_t vocab)
+{
+    ++step_;
+    network_.zeroGrads();
+    loadQuantizedWeights();
+    Tensor logits = forwardQuantized(inputs);
+    const Shape out_shape = logits.shape();
+    logits.reshape({logits.numel() / vocab, vocab});
+    const double loss = lossHead_.loss(logits, targets);
+    Tensor grad = lossHead_.grad();
+    // Hand the gradient back in the network's native output shape.
+    grad.reshape(out_shape);
+    backwardQuantized(grad);
+    restoreMasterWeights();
+    optimizer_.step();
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        masters_[i] = params_[i]->value;
+    return loss;
+}
+
+double
+QuantTrainer::evalAccuracy(const Tensor &inputs,
+                           const std::vector<int> &labels)
+{
+    loadQuantizedWeights();
+    const Tensor logits = forwardQuantized(inputs);
+    restoreMasterWeights();
+    return SoftmaxCrossEntropy::accuracy(logits, labels);
+}
+
+double
+QuantTrainer::evalPerplexity(const Tensor &inputs,
+                             const std::vector<int> &targets,
+                             std::size_t vocab)
+{
+    loadQuantizedWeights();
+    Tensor logits = forwardQuantized(inputs);
+    restoreMasterWeights();
+    logits.reshape({logits.numel() / vocab, vocab});
+    SoftmaxCrossEntropy head;
+    const double nll = head.loss(logits, targets);
+    return std::exp(nll);
+}
+
+} // namespace cq::nn

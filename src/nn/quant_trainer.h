@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Quantized training loop.
+ *
+ * Implements the dataflow of Fig. 7 of the paper in software: weights
+ * and activations are quantized on their way into each layer, neuron
+ * gradients are quantized between layers in the backward pass, weight
+ * gradients stay full precision, and the update step operates on FP32
+ * master weights (the state the NDP engine keeps in DRAM). The
+ * quantization recipes come from quant::AlgorithmConfig, so the same
+ * trainer runs FP32, Zhu, Zhang, and both +HQT variants.
+ */
+
+#ifndef CQ_NN_QUANT_TRAINER_H
+#define CQ_NN_QUANT_TRAINER_H
+
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "nn/softmax.h"
+#include "quant/policy.h"
+
+namespace cq::nn {
+
+/** Per-layer gradient statistics collected during training (Fig. 2). */
+struct GradientRecord
+{
+    std::size_t step = 0;
+    std::size_t layerIndex = 0;
+    double maxAbs = 0.0;
+};
+
+/** Trainer configuration. */
+struct QuantTrainerConfig
+{
+    quant::AlgorithmConfig algorithm = quant::AlgorithmConfig::fp32();
+    OptimizerConfig optimizer;
+    /** Collect per-layer gradient max-abs records when true. */
+    bool recordGradientStats = false;
+};
+
+/**
+ * Drives a Network through quantized training steps. The network's
+ * parameters are treated as *compute copies*: before every step the
+ * FP32 master weights are quantized into them; gradients accumulate
+ * against the quantized weights; the optimizer updates the masters.
+ */
+class QuantTrainer
+{
+  public:
+    QuantTrainer(Network &network, QuantTrainerConfig config);
+
+    /**
+     * One supervised classification step on (inputs, labels) with the
+     * fused softmax + cross-entropy head. Returns the minibatch loss.
+     */
+    double stepClassification(const Tensor &inputs,
+                              const std::vector<int> &labels);
+
+    /**
+     * One language-modeling step: the network output is reshaped to
+     * (T*B, vocab) rows scored against per-position targets. Returns
+     * the minibatch loss (mean NLL; exp of it is the perplexity).
+     */
+    double stepLanguageModel(const Tensor &inputs,
+                             const std::vector<int> &targets,
+                             std::size_t vocab);
+
+    /** Evaluation accuracy with quantized weights, no update. */
+    double evalAccuracy(const Tensor &inputs,
+                        const std::vector<int> &labels);
+
+    /** Evaluation perplexity for language models. */
+    double evalPerplexity(const Tensor &inputs,
+                          const std::vector<int> &targets,
+                          std::size_t vocab);
+
+    const std::vector<GradientRecord> &gradientRecords() const
+    {
+        return gradientRecords_;
+    }
+
+    std::size_t stepCount() const { return step_; }
+    const quant::AlgorithmConfig &algorithm() const
+    {
+        return config_.algorithm;
+    }
+
+  private:
+    /** Swap quantized weights into the network (masters saved). */
+    void loadQuantizedWeights();
+    /** Restore master weights (keeping accumulated gradients). */
+    void restoreMasterWeights();
+    /** Forward with activation quantization hook. */
+    Tensor forwardQuantized(const Tensor &inputs);
+    /** Backward with neuron-gradient quantization hook + stats. */
+    void backwardQuantized(const Tensor &grad);
+
+    Network &network_;
+    QuantTrainerConfig config_;
+    Optimizer optimizer_;
+    std::vector<Tensor> masters_;
+    std::vector<Param *> params_;
+    SoftmaxCrossEntropy lossHead_;
+    std::vector<GradientRecord> gradientRecords_;
+    std::size_t step_ = 0;
+};
+
+} // namespace cq::nn
+
+#endif // CQ_NN_QUANT_TRAINER_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Implementation of the residual block.
+ */
+
+#include "nn/residual.h"
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq::nn {
+
+Residual::Residual(std::string name, std::vector<LayerPtr> main_path,
+                   LayerPtr skip)
+    : name_(std::move(name)),
+      main_(std::move(main_path)),
+      skip_(std::move(skip))
+{
+    CQ_ASSERT_MSG(!main_.empty(), "%s: empty main path",
+                  name_.c_str());
+}
+
+Tensor
+Residual::forward(const Tensor &input)
+{
+    Tensor main_out = input;
+    for (auto &layer : main_)
+        main_out = layer->forward(main_out);
+    const Tensor skip_out =
+        skip_ ? skip_->forward(input) : input;
+    CQ_ASSERT_MSG(main_out.shape() == skip_out.shape(),
+                  "%s: path shapes differ (%s vs %s)", name_.c_str(),
+                  shapeToString(main_out.shape()).c_str(),
+                  shapeToString(skip_out.shape()).c_str());
+    return add(main_out, skip_out);
+}
+
+Tensor
+Residual::backward(const Tensor &grad_output)
+{
+    Tensor grad_main = grad_output;
+    for (std::size_t i = main_.size(); i-- > 0;)
+        grad_main = main_[i]->backward(grad_main);
+    Tensor grad_skip =
+        skip_ ? skip_->backward(grad_output) : grad_output;
+    return add(grad_main, grad_skip);
+}
+
+std::vector<Param *>
+Residual::params()
+{
+    std::vector<Param *> out;
+    for (auto &layer : main_)
+        for (Param *p : layer->params())
+            out.push_back(p);
+    if (skip_)
+        for (Param *p : skip_->params())
+            out.push_back(p);
+    return out;
+}
+
+} // namespace cq::nn

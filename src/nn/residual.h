@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Residual block container.
+ */
+
+#ifndef CQ_NN_RESIDUAL_H
+#define CQ_NN_RESIDUAL_H
+
+#include "nn/layer.h"
+
+namespace cq::nn {
+
+/**
+ * y = main(x) + skip(x), the ResNet basic-block skeleton. The main
+ * path is a stack of layers; the skip path is identity or a
+ * projection layer (1x1 conv for the downsampling blocks). Shapes of
+ * both paths' outputs must agree.
+ */
+class Residual : public Layer
+{
+  public:
+    /** @param skip nullptr = identity skip connection. */
+    Residual(std::string name, std::vector<LayerPtr> main_path,
+             LayerPtr skip = nullptr);
+
+    const std::string &name() const override { return name_; }
+    Tensor forward(const Tensor &input) override;
+    Tensor backward(const Tensor &grad_output) override;
+    std::vector<Param *> params() override;
+
+  private:
+    std::string name_;
+    std::vector<LayerPtr> main_;
+    LayerPtr skip_;
+};
+
+} // namespace cq::nn
+
+#endif // CQ_NN_RESIDUAL_H

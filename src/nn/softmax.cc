@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Implementation of softmax and losses.
+ */
+
+#include "nn/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cq::nn {
+
+Tensor
+softmax(const Tensor &logits)
+{
+    CQ_ASSERT(logits.ndim() == 2);
+    const std::size_t rows = logits.dim(0), cols = logits.dim(1);
+    Tensor out(logits.shape());
+    for (std::size_t r = 0; r < rows; ++r) {
+        float mx = logits.at2(r, 0);
+        for (std::size_t c = 1; c < cols; ++c)
+            mx = std::max(mx, logits.at2(r, c));
+        double denom = 0.0;
+        for (std::size_t c = 0; c < cols; ++c) {
+            const float e = std::exp(logits.at2(r, c) - mx);
+            out.at2(r, c) = e;
+            denom += e;
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (std::size_t c = 0; c < cols; ++c)
+            out.at2(r, c) *= inv;
+    }
+    return out;
+}
+
+double
+SoftmaxCrossEntropy::loss(const Tensor &logits,
+                          const std::vector<int> &labels)
+{
+    CQ_ASSERT(logits.ndim() == 2 && logits.dim(0) == labels.size());
+    probs_ = softmax(logits);
+    labels_ = labels;
+    double total = 0.0;
+    for (std::size_t r = 0; r < labels.size(); ++r) {
+        const int y = labels[r];
+        CQ_ASSERT(y >= 0 &&
+                  static_cast<std::size_t>(y) < logits.dim(1));
+        total -= std::log(
+            std::max(1e-12, static_cast<double>(probs_.at2(r, y))));
+    }
+    return total / static_cast<double>(labels.size());
+}
+
+Tensor
+SoftmaxCrossEntropy::grad() const
+{
+    CQ_ASSERT(probs_.numel() > 0);
+    Tensor g = probs_;
+    const float inv = 1.0f / static_cast<float>(labels_.size());
+    for (std::size_t r = 0; r < labels_.size(); ++r) {
+        g.at2(r, labels_[r]) -= 1.0f;
+    }
+    for (std::size_t i = 0; i < g.numel(); ++i)
+        g[i] *= inv;
+    return g;
+}
+
+double
+SoftmaxCrossEntropy::accuracy(const Tensor &logits,
+                              const std::vector<int> &labels)
+{
+    CQ_ASSERT(logits.ndim() == 2 && logits.dim(0) == labels.size());
+    std::size_t hits = 0;
+    for (std::size_t r = 0; r < labels.size(); ++r) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < logits.dim(1); ++c)
+            if (logits.at2(r, c) > logits.at2(r, best))
+                best = c;
+        if (static_cast<int>(best) == labels[r])
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(std::max<std::size_t>(labels.size(), 1));
+}
+
+double
+mseLoss(const Tensor &pred, const Tensor &target)
+{
+    CQ_ASSERT(pred.shape() == target.shape());
+    double s = 0.0;
+    for (std::size_t i = 0; i < pred.numel(); ++i) {
+        const double d = pred[i] - target[i];
+        s += d * d;
+    }
+    return 0.5 * s / static_cast<double>(std::max<std::size_t>(
+                         pred.numel(), 1));
+}
+
+Tensor
+mseGrad(const Tensor &pred, const Tensor &target)
+{
+    CQ_ASSERT(pred.shape() == target.shape());
+    Tensor g(pred.shape());
+    const float inv = 1.0f / static_cast<float>(
+                          std::max<std::size_t>(pred.numel(), 1));
+    for (std::size_t i = 0; i < pred.numel(); ++i)
+        g[i] = (pred[i] - target[i]) * inv;
+    return g;
+}
+
+} // namespace cq::nn

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Softmax + loss functions.
+ */
+
+#ifndef CQ_NN_SOFTMAX_H
+#define CQ_NN_SOFTMAX_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cq::nn {
+
+/** Row-wise softmax of a (rows, classes) tensor. */
+Tensor softmax(const Tensor &logits);
+
+/**
+ * Fused softmax + cross-entropy over integer class labels.
+ * loss() returns the mean negative log-likelihood; grad() returns the
+ * gradient w.r.t. the logits ((p - onehot) / rows).
+ */
+class SoftmaxCrossEntropy
+{
+  public:
+    /** Compute loss and cache probabilities for grad(). */
+    double loss(const Tensor &logits, const std::vector<int> &labels);
+
+    /** Gradient of the cached forward pass w.r.t. logits. */
+    Tensor grad() const;
+
+    /** Cached class probabilities from the last loss() call. */
+    const Tensor &probs() const { return probs_; }
+
+    /** Fraction of rows whose argmax matches the label. */
+    static double accuracy(const Tensor &logits,
+                           const std::vector<int> &labels);
+
+  private:
+    Tensor probs_;
+    std::vector<int> labels_;
+};
+
+/** Mean squared error loss: 0.5 * mean((pred - target)^2). */
+double mseLoss(const Tensor &pred, const Tensor &target);
+
+/** Gradient of mseLoss w.r.t. pred. */
+Tensor mseGrad(const Tensor &pred, const Tensor &target);
+
+} // namespace cq::nn
+
+#endif // CQ_NN_SOFTMAX_H

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Implementation of LDQ / DQ block quantization.
+ */
+
+#include "quant/block_quant.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "quant/statistics.h"
+
+namespace cq::quant {
+
+const IntFormat &
+BlockQuantized::formatOf(std::size_t i) const
+{
+    CQ_ASSERT(blockSize_ > 0 && i < levels_.size());
+    return formats_[i / blockSize_];
+}
+
+Tensor
+BlockQuantized::dequantize() const
+{
+    Tensor out(shape_);
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        out[i] = static_cast<float>(
+            dequantizeValue(levels_[i], formatOf(i)));
+    }
+    return out;
+}
+
+double
+BlockQuantized::storageBytes() const
+{
+    double bytes = 0.0;
+    for (std::size_t b = 0; b < formats_.size(); ++b) {
+        const std::size_t lo = b * blockSize_;
+        const std::size_t hi = std::min(lo + blockSize_, levels_.size());
+        bytes += (hi - lo) * formats_[b].bytesPerElement();
+        bytes += 2.0; // 16-bit scale tag per block
+    }
+    return bytes;
+}
+
+BlockQuantized
+ldqQuantize(const Tensor &x, std::size_t block_size, int bits)
+{
+    CQ_ASSERT(block_size > 0);
+    BlockQuantized out;
+    out.shape_ = x.shape();
+    out.blockSize_ = block_size;
+    out.levels_.resize(x.numel());
+
+    const std::size_t nblocks = (x.numel() + block_size - 1) / block_size;
+    out.formats_.reserve(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        const std::size_t lo = b * block_size;
+        const std::size_t hi = std::min(lo + block_size, x.numel());
+        // Pass 1 over the block only: local statistic. The block fits
+        // in the SQU buffer, so this never re-reads off-chip data.
+        MaxAbsStat stat;
+        for (std::size_t i = lo; i < hi; ++i)
+            stat.observe(x[i]);
+        const IntFormat fmt = formatForMaxAbs(stat.value(), bits);
+        // Pass 2 over the (buffered) block: quantize.
+        for (std::size_t i = lo; i < hi; ++i)
+            out.levels_[i] =
+                static_cast<std::int16_t>(quantizeValue(x[i], fmt));
+        out.formats_.push_back(fmt);
+    }
+    return out;
+}
+
+BlockQuantized
+dqQuantize(const Tensor &x, int bits)
+{
+    // Layer-wise DQ is LDQ with a single block spanning the tensor.
+    return ldqQuantize(x, std::max<std::size_t>(x.numel(), 1), bits);
+}
+
+Tensor
+fakeQuantizeLdq(const Tensor &x, std::size_t block_size, int bits)
+{
+    return ldqQuantize(x, block_size, bits).dequantize();
+}
+
+double
+ldqCompressionRatio(std::size_t n, std::size_t k)
+{
+    CQ_ASSERT(n > 0 && k > 0);
+    const double blocks = static_cast<double>((n + k - 1) / k);
+    return 4.0 * static_cast<double>(n) /
+           (static_cast<double>(n) + 2.0 * blocks);
+}
+
+double
+dqCompressionRatio(std::size_t n)
+{
+    CQ_ASSERT(n > 0);
+    return 4.0 * static_cast<double>(n) / (static_cast<double>(n) + 2.0);
+}
+
+} // namespace cq::quant

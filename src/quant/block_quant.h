@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Local Dynamic Quantization (LDQ): block-sliced statistic-based
+ * quantization (Sec. III-A of the paper).
+ *
+ * Layer-wise dynamic quantization (DQ) needs a full scan of the data
+ * to obtain the statistic before any element can be quantized -- the
+ * "bottleneck" phenomenon that forces two passes over memory. LDQ
+ * slices data into fixed-size blocks and quantizes each block with its
+ * own locally-computed statistic, so statistics and quantization
+ * proceed in one streaming pass, and the per-block scale never exceeds
+ * the layer-wise scale (hence rounding error never increases).
+ */
+
+#ifndef CQ_QUANT_BLOCK_QUANT_H
+#define CQ_QUANT_BLOCK_QUANT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/qformat.h"
+#include "tensor/tensor.h"
+
+namespace cq::quant {
+
+/**
+ * A tensor quantized block-by-block. Levels are stored widened to
+ * int16 (covers INT4..INT16); per-block formats are the "tags" the
+ * QBC hardware tracks per buffer line.
+ */
+class BlockQuantized
+{
+  public:
+    BlockQuantized() = default;
+
+    const Shape &shape() const { return shape_; }
+    std::size_t numel() const { return levels_.size(); }
+    std::size_t blockSize() const { return blockSize_; }
+    std::size_t numBlocks() const { return formats_.size(); }
+
+    const std::vector<std::int16_t> &levels() const { return levels_; }
+    const std::vector<IntFormat> &formats() const { return formats_; }
+
+    /** Format ("tag") of the block containing element @p i. */
+    const IntFormat &formatOf(std::size_t i) const;
+
+    /** Reconstruct the FP32 tensor. */
+    Tensor dequantize() const;
+
+    /**
+     * Size of the quantized representation in bytes: packed levels
+     * plus one 2-byte scale tag per block (the paper's compression
+     * accounting in Sec. III-A).
+     */
+    double storageBytes() const;
+
+    /** @name Construction (see ldqQuantize / dqQuantize) */
+    /** @{ */
+    Shape shape_;
+    std::size_t blockSize_ = 0;
+    std::vector<std::int16_t> levels_;
+    std::vector<IntFormat> formats_;
+    /** @} */
+};
+
+/**
+ * LDQ: quantize @p x in blocks of @p block_size elements (the last
+ * block may be short), each with its own max-abs-derived format of
+ * @p bits width. Statistics and quantization complete in one pass per
+ * block, matching the SQU's double-buffered streaming behaviour.
+ */
+BlockQuantized ldqQuantize(const Tensor &x, std::size_t block_size,
+                           int bits);
+
+/** Layer-wise DQ: one statistic over the whole tensor (block = N). */
+BlockQuantized dqQuantize(const Tensor &x, int bits);
+
+/** Convenience: LDQ round-trip returning the dequantized tensor. */
+Tensor fakeQuantizeLdq(const Tensor &x, std::size_t block_size, int bits);
+
+/**
+ * Analytic compression ratio of LDQ relative to FP32 for n elements in
+ * blocks of k (1-byte levels + 2-byte scale per block):
+ * 4n / ((n/k) * (k + 2)) = 4 / (1 + 2/k).
+ */
+double ldqCompressionRatio(std::size_t n, std::size_t k);
+
+/** Analytic compression ratio of layer-wise DQ: 4n / (n + 2). */
+double dqCompressionRatio(std::size_t n);
+
+} // namespace cq::quant
+
+#endif // CQ_QUANT_BLOCK_QUANT_H

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Implementation of E2BQM.
+ */
+
+#include "quant/e2bqm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cq::quant {
+
+std::string
+QuantCandidate::toString() const
+{
+    std::ostringstream os;
+    os << "INT" << bits;
+    if (clipRatio != 1.0)
+        os << " clip=" << clipRatio;
+    if (shift > 0)
+        os << " shift=" << shift;
+    return os.str();
+}
+
+Tensor
+CandidateResult::dequantize(const Shape &shape) const
+{
+    CQ_ASSERT(levels.size() == shapeNumel(shape));
+    Tensor out(shape);
+    if (candidate.shift > 0) {
+        const IntFormat fine = format;
+        IntFormat wide = format;
+        wide.scale = format.scale * static_cast<double>(1 << candidate.shift);
+        for (std::size_t i = 0; i < levels.size(); ++i) {
+            const IntFormat &f = wideBits[i] ? wide : fine;
+            out[i] = static_cast<float>(dequantizeValue(levels[i], f));
+        }
+    } else {
+        for (std::size_t i = 0; i < levels.size(); ++i)
+            out[i] = static_cast<float>(dequantizeValue(levels[i], format));
+    }
+    return out;
+}
+
+E2bqmConfig
+E2bqmConfig::clippingLadder(int bits, ErrorMetric metric)
+{
+    E2bqmConfig cfg;
+    cfg.metric = metric;
+    for (double ratio : {1.0, 0.5, 0.25, 0.125})
+        cfg.candidates.push_back({bits, ratio, 0});
+    return cfg;
+}
+
+E2bqmConfig
+E2bqmConfig::shiftableLadder(int bits, ErrorMetric metric)
+{
+    E2bqmConfig cfg;
+    cfg.metric = metric;
+    cfg.candidates.push_back({bits, 1.0, 0});
+    for (int shift : {1, 2, 3})
+        cfg.candidates.push_back({bits, 1.0, shift});
+    return cfg;
+}
+
+E2bqmConfig
+E2bqmConfig::adaptivePrecision(ErrorMetric metric)
+{
+    E2bqmConfig cfg;
+    cfg.metric = metric;
+    cfg.candidates.push_back({8, 1.0, 0});
+    cfg.candidates.push_back({16, 1.0, 0});
+    return cfg;
+}
+
+namespace {
+
+/**
+ * Quantize @p x with one candidate given the precomputed max-abs
+ * statistic. Shiftable candidates pick the per-element scale greedily
+ * as fakeQuantizeShiftable does, but here we record levels and select
+ * bits so the result is a faithful hardware representation.
+ */
+CandidateResult
+runCandidate(const Tensor &x, double max_abs, const QuantCandidate &cand,
+             ErrorMetric metric)
+{
+    CandidateResult res;
+    res.candidate = cand;
+    ErrorStat err;
+
+    if (cand.shift > 0) {
+        const ShiftableFormat sf =
+            shiftableForMaxAbs(max_abs * cand.clipRatio, cand.bits,
+                               cand.shift);
+        const IntFormat fine = sf.fine();
+        const IntFormat wide = sf.wide();
+        res.format = fine;
+        res.levels.resize(x.numel());
+        res.wideBits.resize(x.numel());
+        const double fine_range =
+            static_cast<double>(fine.qmax()) * fine.scale;
+        for (std::size_t i = 0; i < x.numel(); ++i) {
+            const double v = x[i];
+            const std::int32_t qf = quantizeValue(v, fine);
+            const std::int32_t qw = quantizeValue(v, wide);
+            const double vf = dequantizeValue(qf, fine);
+            const double vw = dequantizeValue(qw, wide);
+            bool use_wide = std::fabs(v) > fine_range ||
+                            std::fabs(vw - v) < std::fabs(vf - v);
+            res.levels[i] =
+                static_cast<std::int16_t>(use_wide ? qw : qf);
+            res.wideBits[i] = use_wide ? 1 : 0;
+            err.observe(v, use_wide ? vw : vf);
+        }
+    } else {
+        const IntFormat fmt =
+            formatForMaxAbs(max_abs * cand.clipRatio, cand.bits);
+        res.format = fmt;
+        res.levels.resize(x.numel());
+        for (std::size_t i = 0; i < x.numel(); ++i) {
+            const std::int32_t q = quantizeValue(x[i], fmt);
+            res.levels[i] = static_cast<std::int16_t>(q);
+            err.observe(x[i], dequantizeValue(q, fmt));
+        }
+    }
+    res.error = err.value(metric);
+    return res;
+}
+
+} // namespace
+
+E2bqmResult
+e2bqmQuantize(const Tensor &x, const E2bqmConfig &config)
+{
+    CQ_ASSERT_MSG(!config.candidates.empty(),
+                  "E2BQM requires at least one candidate");
+    // Step 1: one-pass statistic over the original data.
+    MaxAbsStat stat;
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        stat.observe(x[i]);
+    const double max_abs = stat.value();
+
+    // Steps 2+3: time-multiplexed candidate quantization with fused
+    // error estimation (the SQU re-reads the *buffered* block, not
+    // memory).
+    E2bqmResult result;
+    result.candidates.reserve(config.candidates.size());
+    for (const auto &cand : config.candidates) {
+        result.candidates.push_back(
+            runCandidate(x, max_abs, cand, config.metric));
+    }
+
+    // Step 4: arbitration. Lower error wins; on (near-)equal error the
+    // cheaper format (fewer bits, then earlier candidate) wins.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+        const auto &a = result.candidates[i];
+        const auto &b = result.candidates[best];
+        if (a.error < b.error ||
+            (a.error == b.error &&
+             a.candidate.bits < b.candidate.bits)) {
+            best = i;
+        }
+    }
+    result.selected = best;
+    return result;
+}
+
+Tensor
+fakeQuantizeE2bqm(const Tensor &x, const E2bqmConfig &config)
+{
+    return e2bqmQuantize(x, config).best().dequantize(x.shape());
+}
+
+Tensor
+fakeQuantizeHqt(const Tensor &x, std::size_t block_size,
+                const E2bqmConfig &config)
+{
+    CQ_ASSERT(block_size > 0);
+    Tensor out(x.shape());
+    const std::size_t n = x.numel();
+    for (std::size_t lo = 0; lo < n; lo += block_size) {
+        const std::size_t hi = std::min(lo + block_size, n);
+        Tensor block({hi - lo});
+        for (std::size_t i = lo; i < hi; ++i)
+            block[i - lo] = x[i];
+        const Tensor deq = fakeQuantizeE2bqm(block, config);
+        for (std::size_t i = lo; i < hi; ++i)
+            out[i] = deq[i - lo];
+    }
+    return out;
+}
+
+} // namespace cq::quant

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Error-estimation-based Quantization Multiplexing (E2BQM),
+ * Sec. III-B of the paper.
+ *
+ * E2BQM unifies the divergent long-tail handling techniques of the
+ * literature (shiftable fixed point, BiScaled-FxP, direction-sensitive
+ * gradient clipping, adaptive INT8/INT16 selection) into one hardware
+ * mechanism: quantize the data with N candidate quantization functions
+ * Q_i, estimate the error of each against the original data with a
+ * configurable distance, and let an arbiter pick the best candidate.
+ * The SQU executes the candidates time-multiplexed over the same
+ * buffered block, so no extra memory traffic is incurred.
+ */
+
+#ifndef CQ_QUANT_E2BQM_H
+#define CQ_QUANT_E2BQM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/qformat.h"
+#include "quant/statistics.h"
+#include "tensor/tensor.h"
+
+namespace cq::quant {
+
+/**
+ * One candidate quantization function. Candidates vary in bit width
+ * (Zhang-style adaptive precision), clipping ratio of the scale
+ * statistic (Zhu-style gradient clipping) and shiftable encoding
+ * (Zhong-style).
+ */
+struct QuantCandidate
+{
+    int bits = 8;
+    /** Scale covers clipRatio * maxAbs; 1.0 means no clipping. */
+    double clipRatio = 1.0;
+    /** When > 0, use a shiftable format with this shift. */
+    int shift = 0;
+
+    std::string toString() const;
+};
+
+/** Result of quantizing one block with one candidate. */
+struct CandidateResult
+{
+    QuantCandidate candidate;
+    IntFormat format;          ///< effective (fine) format used
+    std::vector<std::int16_t> levels;
+    /** Per-element scale-select bits (only for shiftable candidates). */
+    std::vector<std::uint8_t> wideBits;
+    double error = 0.0;        ///< arbiter metric value
+
+    /** Dequantize this candidate's levels. */
+    Tensor dequantize(const Shape &shape) const;
+};
+
+/** Configuration of the multiplexer. */
+struct E2bqmConfig
+{
+    std::vector<QuantCandidate> candidates;
+    ErrorMetric metric = ErrorMetric::Rectilinear;
+
+    /**
+     * 4-way clipping ladder simulating Direction Sensitive Gradient
+     * Clipping: candidates clip at 1, 1/2, 1/4, 1/8 of max|X|.
+     */
+    static E2bqmConfig clippingLadder(int bits = 8,
+                                      ErrorMetric metric =
+                                          ErrorMetric::Rectilinear);
+
+    /**
+     * 4-way shiftable ladder simulating the Shiftable Fixed-Point
+     * Data Format: plain INT plus shiftable variants (shift 1..3).
+     */
+    static E2bqmConfig shiftableLadder(int bits = 8,
+                                       ErrorMetric metric =
+                                           ErrorMetric::Rectilinear);
+
+    /**
+     * Zhang-style adaptive precision: INT8 vs INT16 selected by
+     * estimated error against a mean-bias/threshold arbiter.
+     */
+    static E2bqmConfig adaptivePrecision(ErrorMetric metric =
+                                             ErrorMetric::MeanBias);
+};
+
+/**
+ * Run E2BQM over one data block: statistic pass, candidate
+ * quantization, error estimation, arbitration. Returns every
+ * candidate's result with `error` filled in; `selected` is the index
+ * of the winner (ties break toward earlier candidates, and toward
+ * fewer bits on equal error so cheaper formats win).
+ */
+struct E2bqmResult
+{
+    std::vector<CandidateResult> candidates;
+    std::size_t selected = 0;
+
+    const CandidateResult &best() const { return candidates[selected]; }
+};
+
+E2bqmResult e2bqmQuantize(const Tensor &x, const E2bqmConfig &config);
+
+/** Round-trip through the selected candidate. */
+Tensor fakeQuantizeE2bqm(const Tensor &x, const E2bqmConfig &config);
+
+/**
+ * Blocked E2BQM: apply the multiplexer independently to consecutive
+ * blocks of @p block_size elements (LDQ + E2BQM composed, i.e. the
+ * full HQT path). Returns the dequantized reconstruction.
+ */
+Tensor fakeQuantizeHqt(const Tensor &x, std::size_t block_size,
+                       const E2bqmConfig &config);
+
+} // namespace cq::quant
+
+#endif // CQ_QUANT_E2BQM_H

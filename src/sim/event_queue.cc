@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Implementation of the event queue.
+ */
+
+#include "sim/event_queue.h"
+
+#include "common/logging.h"
+
+namespace cq::sim {
+
+void
+EventQueue::scheduleAt(Tick when, std::function<void()> action)
+{
+    CQ_ASSERT_MSG(when >= now_,
+                  "scheduling into the past: %llu < %llu",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(now_));
+    heap_.push(Event{when, nextSeq_++, std::move(action)});
+}
+
+void
+EventQueue::scheduleIn(Tick delta, std::function<void()> action)
+{
+    scheduleAt(now_ + delta, std::move(action));
+}
+
+Tick
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t fired = 0;
+    while (!heap_.empty()) {
+        if (fired++ >= max_events)
+            panic("event queue runaway: %llu events fired",
+                  static_cast<unsigned long long>(fired));
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.action();
+    }
+    return now_;
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!heap_.empty() && heap_.top().when <= until) {
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.action();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+} // namespace cq::sim

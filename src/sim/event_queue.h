@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Discrete-event simulation kernel (gem5-flavoured, in miniature).
+ *
+ * Components schedule callbacks at future ticks; the queue executes
+ * them in (tick, sequence) order so simultaneous events run in
+ * deterministic insertion order. The accelerator, baseline and DRAM
+ * models all share one EventQueue per simulation.
+ */
+
+#ifndef CQ_SIM_EVENT_QUEUE_H
+#define CQ_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cq::sim {
+
+/** A scheduled callback. */
+struct Event
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> action;
+};
+
+/**
+ * Min-heap of events ordered by (tick, sequence number).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p action at absolute tick @p when (>= now). */
+    void scheduleAt(Tick when, std::function<void()> action);
+
+    /** Schedule @p action @p delta ticks in the future. */
+    void scheduleIn(Tick delta, std::function<void()> action);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Run events until the queue drains (or @p max_events fire, as a
+     * runaway guard). Returns the final simulated time.
+     */
+    Tick run(std::uint64_t max_events = ~std::uint64_t(0));
+
+    /** Execute events with when <= @p until; time advances to until. */
+    void runUntil(Tick until);
+
+  private:
+    struct Compare
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Compare> heap_;
+};
+
+} // namespace cq::sim
+
+#endif // CQ_SIM_EVENT_QUEUE_H

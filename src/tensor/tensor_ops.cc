@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Implementation of tensor operations.
+ */
+
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cq {
+
+namespace {
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    CQ_ASSERT_MSG(a.shape() == b.shape(), "%s: shape mismatch %s vs %s",
+                  op, shapeToString(a.shape()).c_str(),
+                  shapeToString(b.shape()).c_str());
+}
+
+} // namespace
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "add");
+    Tensor c(a.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        c[i] = a[i] + b[i];
+    return c;
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "sub");
+    Tensor c(a.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        c[i] = a[i] - b[i];
+    return c;
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "mul");
+    Tensor c(a.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        c[i] = a[i] * b[i];
+    return c;
+}
+
+Tensor
+scale(const Tensor &a, float s)
+{
+    Tensor c(a.shape());
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        c[i] = a[i] * s;
+    return c;
+}
+
+void
+accumulate(Tensor &a, const Tensor &b, float s)
+{
+    checkSameShape(a, b, "accumulate");
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        a[i] += b[i] * s;
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    CQ_ASSERT(a.ndim() == 2 && b.ndim() == 2);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    CQ_ASSERT_MSG(b.dim(0) == k, "matmul: inner dims %zu vs %zu",
+                  k, b.dim(0));
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    // i-k-j loop order: unit-stride access on b and c rows.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = pa[i * k + kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = pb + kk * n;
+            float *crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransA(const Tensor &a, const Tensor &b)
+{
+    CQ_ASSERT(a.ndim() == 2 && b.ndim() == 2);
+    const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    CQ_ASSERT(b.dim(0) == k);
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float *arow = pa + kk * m;
+        const float *brow = pb + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransB(const Tensor &a, const Tensor &b)
+{
+    CQ_ASSERT(a.ndim() == 2 && b.ndim() == 2);
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    CQ_ASSERT(b.dim(1) == k);
+    Tensor c({m, n});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = pa + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = pb + j * k;
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += static_cast<double>(arow[kk]) * brow[kk];
+            pc[i * n + j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+Tensor
+transpose(const Tensor &a)
+{
+    CQ_ASSERT(a.ndim() == 2);
+    const std::size_t m = a.dim(0), n = a.dim(1);
+    Tensor c({n, m});
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            c.at2(j, i) = a.at2(i, j);
+    return c;
+}
+
+std::size_t
+Conv2dGeometry::outH(std::size_t h) const
+{
+    CQ_ASSERT(h + 2 * pad >= kernelH);
+    return (h + 2 * pad - kernelH) / stride + 1;
+}
+
+std::size_t
+Conv2dGeometry::outW(std::size_t w) const
+{
+    CQ_ASSERT(w + 2 * pad >= kernelW);
+    return (w + 2 * pad - kernelW) / stride + 1;
+}
+
+Tensor
+im2col(const Tensor &input, const Conv2dGeometry &g)
+{
+    CQ_ASSERT(input.ndim() == 4);
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    CQ_ASSERT(c == g.inChannels);
+    const std::size_t p = g.outH(h), q = g.outW(w);
+    const std::size_t patch = c * g.kernelH * g.kernelW;
+
+    Tensor cols({n * p * q, patch});
+    float *out = cols.data();
+    for (std::size_t in = 0; in < n; ++in) {
+        for (std::size_t oy = 0; oy < p; ++oy) {
+            for (std::size_t ox = 0; ox < q; ++ox) {
+                float *row = out + ((in * p + oy) * q + ox) * patch;
+                std::size_t idx = 0;
+                for (std::size_t ic = 0; ic < c; ++ic) {
+                    for (std::size_t ky = 0; ky < g.kernelH; ++ky) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        for (std::size_t kx = 0; kx < g.kernelW; ++kx) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * g.stride + kx) -
+                                static_cast<std::ptrdiff_t>(g.pad);
+                            float v = 0.0f;
+                            if (iy >= 0 && ix >= 0 &&
+                                iy < static_cast<std::ptrdiff_t>(h) &&
+                                ix < static_cast<std::ptrdiff_t>(w)) {
+                                v = input.at4(in, ic,
+                                              static_cast<std::size_t>(iy),
+                                              static_cast<std::size_t>(ix));
+                            }
+                            row[idx++] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+col2im(const Tensor &cols, const Shape &inputShape, const Conv2dGeometry &g)
+{
+    CQ_ASSERT(inputShape.size() == 4);
+    const std::size_t n = inputShape[0], c = inputShape[1];
+    const std::size_t h = inputShape[2], w = inputShape[3];
+    const std::size_t p = g.outH(h), q = g.outW(w);
+    const std::size_t patch = c * g.kernelH * g.kernelW;
+    CQ_ASSERT(cols.ndim() == 2 && cols.dim(0) == n * p * q &&
+              cols.dim(1) == patch);
+
+    Tensor out(inputShape);
+    const float *in = cols.data();
+    for (std::size_t inn = 0; inn < n; ++inn) {
+        for (std::size_t oy = 0; oy < p; ++oy) {
+            for (std::size_t ox = 0; ox < q; ++ox) {
+                const float *row = in + ((inn * p + oy) * q + ox) * patch;
+                std::size_t idx = 0;
+                for (std::size_t ic = 0; ic < c; ++ic) {
+                    for (std::size_t ky = 0; ky < g.kernelH; ++ky) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        for (std::size_t kx = 0; kx < g.kernelW; ++kx) {
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * g.stride + kx) -
+                                static_cast<std::ptrdiff_t>(g.pad);
+                            const float v = row[idx++];
+                            if (iy >= 0 && ix >= 0 &&
+                                iy < static_cast<std::ptrdiff_t>(h) &&
+                                ix < static_cast<std::ptrdiff_t>(w)) {
+                                out.at4(inn, ic,
+                                        static_cast<std::size_t>(iy),
+                                        static_cast<std::size_t>(ix)) += v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+double
+rectilinearDistance(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "rectilinearDistance");
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        d += std::fabs(static_cast<double>(a[i]) - b[i]);
+    return d;
+}
+
+double
+cosineSimilarity(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "cosineSimilarity");
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        dot += static_cast<double>(a[i]) * b[i];
+        na += static_cast<double>(a[i]) * a[i];
+        nb += static_cast<double>(b[i]) * b[i];
+    }
+    if (na == 0.0 || nb == 0.0)
+        return na == nb ? 1.0 : 0.0;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double
+meanBias(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "meanBias");
+    if (a.numel() == 0)
+        return 0.0;
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        d += static_cast<double>(a[i]) - b[i];
+    return d / static_cast<double>(a.numel());
+}
+
+double
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "maxAbsDiff");
+    double d = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i)
+        d = std::max(d, std::fabs(static_cast<double>(a[i]) - b[i]));
+    return d;
+}
+
+double
+rmse(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "rmse");
+    if (a.numel() == 0)
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.numel(); ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        s += d * d;
+    }
+    return std::sqrt(s / static_cast<double>(a.numel()));
+}
+
+} // namespace cq

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the common support library: RNG determinism and
+ * distributions, stats registry semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cq {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.below(17);
+        EXPECT_LT(v, 17u);
+        seen.insert(v);
+    }
+    // All 17 values should occur in 1000 draws.
+    EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(StatGroup, CounterStartsAtZero)
+{
+    StatGroup stats;
+    EXPECT_EQ(stats.get("nonexistent"), 0.0);
+}
+
+TEST(StatGroup, AddAccumulates)
+{
+    StatGroup stats;
+    stats.add("a.b", 2.0);
+    stats.add("a.b", 3.0);
+    EXPECT_EQ(stats.get("a.b"), 5.0);
+}
+
+TEST(StatGroup, CounterReferencePersists)
+{
+    StatGroup stats;
+    double &c = stats.counter("x");
+    c += 7.0;
+    EXPECT_EQ(stats.get("x"), 7.0);
+}
+
+TEST(StatGroup, SumPrefix)
+{
+    StatGroup stats;
+    stats.add("dram.reads", 10.0);
+    stats.add("dram.writes", 5.0);
+    stats.add("pe.macs", 100.0);
+    EXPECT_EQ(stats.sumPrefix("dram."), 15.0);
+    EXPECT_EQ(stats.sumPrefix("pe."), 100.0);
+    EXPECT_EQ(stats.sumPrefix("zzz"), 0.0);
+}
+
+TEST(StatGroup, ResetZeroesEverything)
+{
+    StatGroup stats;
+    stats.add("a", 1.0);
+    stats.add("b", 2.0);
+    stats.reset();
+    EXPECT_EQ(stats.get("a"), 0.0);
+    EXPECT_EQ(stats.get("b"), 0.0);
+}
+
+TEST(StatGroup, MergeAddsValues)
+{
+    StatGroup a, b;
+    a.add("x", 1.0);
+    b.add("x", 2.0);
+    b.add("y", 3.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3.0);
+    EXPECT_EQ(a.get("y"), 3.0);
+}
+
+TEST(StatGroup, DumpContainsNames)
+{
+    StatGroup stats;
+    stats.add("alpha", 1.0);
+    const std::string dump = stats.dump("header");
+    EXPECT_NE(dump.find("header"), std::string::npos);
+    EXPECT_NE(dump.find("alpha"), std::string::npos);
+}
+
+} // namespace
+} // namespace cq

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parameterized property tests over the minifloat formats (FP8 /
+ * FP16 / FP24): round-trip identity on representables, half-ULP
+ * relative error on normals, monotonicity, saturation, and the
+ * loss-scaled quantization used by the Wang-2018 policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "quant/qformat.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq::quant {
+namespace {
+
+class FloatFormats : public ::testing::TestWithParam<FloatFormat>
+{
+};
+
+TEST_P(FloatFormats, RepresentablesAreFixedPoints)
+{
+    const FloatFormat fmt = GetParam();
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const double x = rng.gaussian(0.0, 10.0);
+        const double q = roundToFloatFormat(x, fmt);
+        // Idempotence: quantizing a quantized value is the identity.
+        EXPECT_DOUBLE_EQ(roundToFloatFormat(q, fmt), q);
+    }
+}
+
+TEST_P(FloatFormats, HalfUlpRelativeBoundOnNormals)
+{
+    const FloatFormat fmt = GetParam();
+    const double bound = std::pow(2.0, -(fmt.mantBits + 1)) + 1e-15;
+    Rng rng(2);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.uniform(fmt.minNormal(),
+                                     fmt.maxValue() * 0.99);
+        const double q = roundToFloatFormat(x, fmt);
+        EXPECT_LE(std::fabs(q - x) / x, bound) << x;
+    }
+}
+
+TEST_P(FloatFormats, Monotone)
+{
+    const FloatFormat fmt = GetParam();
+    Rng rng(3);
+    double prev_x = -1e30, prev_q = -fmt.maxValue();
+    std::vector<double> xs;
+    for (int i = 0; i < 2000; ++i)
+        xs.push_back(rng.gaussian(0.0, 100.0));
+    std::sort(xs.begin(), xs.end());
+    for (double x : xs) {
+        const double q = roundToFloatFormat(x, fmt);
+        EXPECT_GE(q, prev_q) << "at x=" << x << " prev=" << prev_x;
+        prev_q = q;
+        prev_x = x;
+    }
+}
+
+TEST_P(FloatFormats, SaturationAndSymmetry)
+{
+    const FloatFormat fmt = GetParam();
+    EXPECT_DOUBLE_EQ(roundToFloatFormat(1e300, fmt), fmt.maxValue());
+    EXPECT_DOUBLE_EQ(roundToFloatFormat(-1e300, fmt),
+                     -fmt.maxValue());
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.gaussian(0.0, 5.0);
+        EXPECT_DOUBLE_EQ(roundToFloatFormat(-x, fmt),
+                         -roundToFloatFormat(x, fmt));
+    }
+}
+
+TEST_P(FloatFormats, LossScalingPreservesRelativeError)
+{
+    const FloatFormat fmt = GetParam();
+    // Data far below the format's normal range survives when scaled.
+    Rng rng(5);
+    Tensor x({2048});
+    x.fillGaussian(rng, 0.0f, 1e-9f);
+    const Tensor q = fakeQuantizeFloatScaled(x, fmt, x.maxAbs());
+    const double rel =
+        rmse(x, q) /
+        std::sqrt(static_cast<double>(x.sumSquares() / x.numel()));
+    EXPECT_LT(rel, std::pow(2.0, -fmt.mantBits));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FloatFormats,
+    ::testing::Values(FloatFormat::fp8(), FloatFormat::fp16(),
+                      FloatFormat::fp24()),
+    [](const auto &info) {
+        return "e" + std::to_string(info.param.expBits) + "m" +
+               std::to_string(info.param.mantBits);
+    });
+
+} // namespace
+} // namespace cq::quant

@@ -1,0 +1,882 @@
+/**
+ * @file
+ * Tests for the DNN training framework: numerical gradient checks for
+ * every layer, loss functions, optimizers (including NDPO-constant
+ * equivalence), network composition, datasets and the quantized
+ * trainer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/attention.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/datasets.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "nn/quant_trainer.h"
+#include "nn/softmax.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq::nn {
+namespace {
+
+/**
+ * Numerical gradient check. Loss L = sum(weights .* layer(x)); the
+ * analytic input/parameter gradients from backward() are compared to
+ * central finite differences. Conv/pool layers are checked at every
+ * input element; parameter checks sample a subset for speed.
+ */
+class GradCheck
+{
+  public:
+    GradCheck(Layer &layer, const Tensor &input, std::uint64_t seed = 9)
+        : layer_(layer), input_(input)
+    {
+        Rng rng(seed);
+        const Tensor out = layer_.forward(input_);
+        lossWeights_ = Tensor(out.shape());
+        lossWeights_.fillGaussian(rng, 0.0f, 1.0f);
+    }
+
+    double
+    loss(const Tensor &input)
+    {
+        const Tensor out = layer_.forward(input);
+        double l = 0.0;
+        for (std::size_t i = 0; i < out.numel(); ++i)
+            l += static_cast<double>(out[i]) * lossWeights_[i];
+        return l;
+    }
+
+    /** Analytic gradients: returns grad wrt input; fills param grads. */
+    Tensor
+    analytic()
+    {
+        layer_.zeroGrads();
+        layer_.forward(input_);
+        return layer_.backward(lossWeights_);
+    }
+
+    /** Max relative error of input gradient vs finite differences. */
+    double
+    checkInput(double eps = 1e-3)
+    {
+        const Tensor analytic_grad = analytic();
+        double worst = 0.0;
+        for (std::size_t i = 0; i < input_.numel(); ++i) {
+            Tensor xp = input_, xm = input_;
+            xp[i] += static_cast<float>(eps);
+            xm[i] -= static_cast<float>(eps);
+            const double num = (loss(xp) - loss(xm)) / (2.0 * eps);
+            worst = std::max(
+                worst, relErr(num, analytic_grad[i]));
+        }
+        return worst;
+    }
+
+    /** Max relative error of parameter gradients (sampled). */
+    double
+    checkParams(double eps = 1e-3, std::size_t max_per_param = 24)
+    {
+        analytic();
+        // Snapshot analytic gradients (finite-difference evaluation
+        // below re-runs forward, but does not touch grads).
+        std::vector<Tensor> grads;
+        for (Param *p : layer_.params())
+            grads.push_back(p->grad);
+
+        double worst = 0.0;
+        Rng rng(1234);
+        const auto params = layer_.params();
+        for (std::size_t pi = 0; pi < params.size(); ++pi) {
+            Param *p = params[pi];
+            const std::size_t n = p->value.numel();
+            for (std::size_t s = 0;
+                 s < std::min(max_per_param, n); ++s) {
+                const std::size_t i = rng.below(n);
+                const float saved = p->value[i];
+                p->value[i] = saved + static_cast<float>(eps);
+                const double lp = loss(input_);
+                p->value[i] = saved - static_cast<float>(eps);
+                const double lm = loss(input_);
+                p->value[i] = saved;
+                const double num = (lp - lm) / (2.0 * eps);
+                worst = std::max(worst, relErr(num, grads[pi][i]));
+            }
+        }
+        return worst;
+    }
+
+  private:
+    static double
+    relErr(double a, double b)
+    {
+        const double scale =
+            std::max({std::fabs(a), std::fabs(b), 1e-2});
+        return std::fabs(a - b) / scale;
+    }
+
+    Layer &layer_;
+    Tensor input_;
+    Tensor lossWeights_;
+};
+
+Tensor
+randomTensor(const Shape &shape, std::uint64_t seed, float sigma = 1.0f)
+{
+    Rng rng(seed);
+    Tensor t(shape);
+    t.fillGaussian(rng, 0.0f, sigma);
+    return t;
+}
+
+// ------------------------------------------------------ gradient checks
+
+TEST(GradCheckTest, Linear)
+{
+    Rng rng(1);
+    Linear layer("fc", 5, 7, rng);
+    GradCheck check(layer, randomTensor({4, 5}, 2));
+    EXPECT_LT(check.checkInput(), 2e-2);
+    EXPECT_LT(check.checkParams(), 2e-2);
+}
+
+TEST(GradCheckTest, Conv2d)
+{
+    Rng rng(3);
+    Conv2d layer("conv", Conv2dGeometry{2, 3, 3, 3, 1, 1}, rng);
+    GradCheck check(layer, randomTensor({2, 2, 5, 5}, 4));
+    EXPECT_LT(check.checkInput(), 2e-2);
+    EXPECT_LT(check.checkParams(), 2e-2);
+}
+
+TEST(GradCheckTest, Conv2dStrided)
+{
+    Rng rng(5);
+    Conv2d layer("conv", Conv2dGeometry{3, 4, 3, 3, 2, 0}, rng);
+    GradCheck check(layer, randomTensor({2, 3, 7, 7}, 6));
+    EXPECT_LT(check.checkInput(), 2e-2);
+    EXPECT_LT(check.checkParams(), 2e-2);
+}
+
+TEST(GradCheckTest, MaxPool)
+{
+    MaxPool2d layer("pool", 2, 2);
+    // Finite differences require every pooling window's max to be
+    // separated from the runner-up by more than 2*eps, or the argmax
+    // flips under perturbation; space the values out explicitly.
+    Tensor x = randomTensor({2, 3, 6, 6}, 7);
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        x[i] = std::round(x[i] * 5.0f) / 5.0f +
+               static_cast<float>(i % 97) * 1e-3f;
+    GradCheck check(layer, x);
+    EXPECT_LT(check.checkInput(1e-4), 2e-2);
+}
+
+TEST(GradCheckTest, GlobalAvgPool)
+{
+    GlobalAvgPool layer("gap");
+    GradCheck check(layer, randomTensor({2, 4, 3, 3}, 8));
+    EXPECT_LT(check.checkInput(), 2e-2);
+}
+
+TEST(GradCheckTest, ActivationsAll)
+{
+    for (auto kind : {ActKind::ReLU, ActKind::Tanh, ActKind::Sigmoid,
+                      ActKind::Gelu}) {
+        Activation layer("act", kind);
+        // Shift inputs away from ReLU's kink for finite differences.
+        Tensor x = randomTensor({3, 9}, 9u + static_cast<int>(kind));
+        for (std::size_t i = 0; i < x.numel(); ++i)
+            if (std::fabs(x[i]) < 0.05f)
+                x[i] += 0.1f;
+        GradCheck check(layer, x);
+        EXPECT_LT(check.checkInput(), 2e-2) << actKindName(kind);
+    }
+}
+
+TEST(GradCheckTest, LayerNorm)
+{
+    LayerNorm layer("ln", 6);
+    GradCheck check(layer, randomTensor({4, 6}, 10));
+    EXPECT_LT(check.checkInput(), 2e-2);
+    EXPECT_LT(check.checkParams(), 2e-2);
+}
+
+TEST(GradCheckTest, Lstm)
+{
+    Rng rng(11);
+    Lstm layer("lstm", 4, 5, rng);
+    GradCheck check(layer, randomTensor({3, 2, 4}, 12, 0.5f));
+    EXPECT_LT(check.checkInput(), 2e-2);
+    EXPECT_LT(check.checkParams(), 2e-2);
+}
+
+TEST(GradCheckTest, MultiHeadSelfAttention)
+{
+    Rng rng(13);
+    MultiHeadSelfAttention layer("attn", 2, 3, 8, 2, rng);
+    GradCheck check(layer, randomTensor({6, 8}, 14, 0.5f));
+    // FP32 forward + 1e-3 differences: allow ~5% relative slack.
+    EXPECT_LT(check.checkInput(), 5e-2);
+    EXPECT_LT(check.checkParams(), 5e-2);
+}
+
+TEST(GradCheckTest, TransformerBlock)
+{
+    Rng rng(15);
+    TransformerBlock layer("blk", 2, 3, 8, 2, 16, rng);
+    GradCheck check(layer, randomTensor({6, 8}, 16, 0.5f));
+    EXPECT_LT(check.checkInput(), 5e-2);
+    // The deep ln/attention/ffn composition leaves ~1e-4 of FP32
+    // round-off noise in the difference quotient; gradients of
+    // magnitude ~4e-3 therefore carry ~10% apparent error even when
+    // exact (verified by Richardson extrapolation), so the bound
+    // here is loose.
+    EXPECT_LT(check.checkParams(3e-3), 0.12);
+}
+
+TEST(GradCheckTest, PositionalEncoding)
+{
+    PositionalEncoding layer("pos", 4, 6);
+    GradCheck check(layer, randomTensor({8, 6}, 17));
+    EXPECT_LT(check.checkInput(), 1e-3); // identity gradient
+}
+
+
+TEST(GradCheckTest, BatchNormTraining)
+{
+    BatchNorm2d layer("bn", 3);
+    GradCheck check(layer, randomTensor({2, 3, 4, 4}, 50));
+    EXPECT_LT(check.checkInput(), 3e-2);
+    EXPECT_LT(check.checkParams(), 3e-2);
+}
+
+TEST(BatchNorm, NormalizesPerChannelInTraining)
+{
+    BatchNorm2d layer("bn", 2);
+    Tensor x = randomTensor({4, 2, 5, 5}, 51);
+    // Shift channel 1 strongly; normalized output must be ~N(0,1).
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        if ((i / 25) % 2 == 1)
+            x[i] += 10.0f;
+    const Tensor out = layer.forward(x);
+    for (std::size_t c = 0; c < 2; ++c) {
+        double sum = 0.0, sum2 = 0.0;
+        std::size_t cnt = 0;
+        for (std::size_t n = 0; n < 4; ++n)
+            for (std::size_t yx = 0; yx < 25; ++yx) {
+                const float v =
+                    out.at4(n, c, yx / 5, yx % 5);
+                sum += v;
+                sum2 += v * v;
+                ++cnt;
+            }
+        EXPECT_NEAR(sum / cnt, 0.0, 1e-3);
+        EXPECT_NEAR(sum2 / cnt, 1.0, 1e-2);
+    }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats)
+{
+    BatchNorm2d layer("bn", 1, 0.3f);
+    Rng rng(52);
+    for (int i = 0; i < 50; ++i) {
+        Tensor x({8, 1, 4, 4});
+        x.fillGaussian(rng, 2.0f, 0.5f);
+        layer.forward(x);
+    }
+    EXPECT_NEAR(layer.runningMean()[0], 2.0f, 0.1f);
+    EXPECT_NEAR(layer.runningVar()[0], 0.25f, 0.05f);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats)
+{
+    BatchNorm2d layer("bn", 1);
+    Rng rng(53);
+    for (int i = 0; i < 30; ++i) {
+        Tensor x({8, 1, 4, 4});
+        x.fillGaussian(rng, 1.0f, 1.0f);
+        layer.forward(x);
+    }
+    layer.setTraining(false);
+    // A constant input in eval mode maps deterministically through
+    // the running stats (no division by a zero batch variance).
+    Tensor c({2, 1, 2, 2}, 1.0f);
+    const Tensor out = layer.forward(c);
+    for (std::size_t i = 0; i < out.numel(); ++i)
+        EXPECT_NEAR(out[i], out[0], 1e-6);
+}
+
+
+TEST(GradCheckTest, ResidualIdentitySkip)
+{
+    Rng rng(55);
+    std::vector<LayerPtr> main_path;
+    main_path.push_back(std::make_unique<Conv2d>(
+        "c", Conv2dGeometry{3, 3, 3, 3, 1, 1}, rng));
+    Residual layer("res", std::move(main_path));
+    GradCheck check(layer, randomTensor({2, 3, 4, 4}, 56));
+    EXPECT_LT(check.checkInput(), 2e-2);
+    EXPECT_LT(check.checkParams(), 2e-2);
+}
+
+TEST(GradCheckTest, ResidualProjectionSkip)
+{
+    Rng rng(57);
+    std::vector<LayerPtr> main_path;
+    main_path.push_back(std::make_unique<Conv2d>(
+        "c", Conv2dGeometry{2, 4, 3, 3, 2, 1}, rng));
+    auto skip = std::make_unique<Conv2d>(
+        "down", Conv2dGeometry{2, 4, 1, 1, 2, 0}, rng);
+    Residual layer("res", std::move(main_path), std::move(skip));
+    GradCheck check(layer, randomTensor({2, 2, 6, 6}, 58));
+    EXPECT_LT(check.checkInput(), 2e-2);
+    EXPECT_LT(check.checkParams(), 2e-2);
+}
+
+TEST(Residual, IdentityPlusZeroMainIsDouble)
+{
+    // A main path that is the identity activation doubles the input.
+    std::vector<LayerPtr> main_path;
+    main_path.push_back(
+        std::make_unique<Activation>("id", ActKind::ReLU));
+    Residual layer("res", std::move(main_path));
+    Tensor x({2, 3}, 1.0f);
+    const Tensor y = layer.forward(x);
+    for (std::size_t i = 0; i < y.numel(); ++i)
+        EXPECT_FLOAT_EQ(y[i], 2.0f);
+}
+
+TEST(Residual, TrainsMiniResNetOnSpiral)
+{
+    SpiralDataset data(2, 0.1, 60);
+    Rng rng(61);
+    Network net;
+    net.add(std::make_unique<Linear>("in", 2, 16, rng));
+    std::vector<LayerPtr> block;
+    block.push_back(std::make_unique<Linear>("b1", 16, 16, rng));
+    block.push_back(std::make_unique<Activation>("t", ActKind::Tanh));
+    block.push_back(std::make_unique<Linear>("b2", 16, 16, rng));
+    net.add(std::make_unique<Residual>("res", std::move(block)));
+    net.add(std::make_unique<Activation>("t2", ActKind::Tanh));
+    net.add(std::make_unique<Linear>("out", 16, 2, rng));
+
+    QuantTrainerConfig cfg;
+    cfg.algorithm = quant::AlgorithmConfig::zhang2020Hqt(64);
+    cfg.optimizer.kind = OptimizerKind::Adam;
+    cfg.optimizer.lr = 5e-3;
+    QuantTrainer trainer(net, cfg);
+    for (int i = 0; i < 200; ++i) {
+        const auto b = data.sample(64);
+        trainer.stepClassification(b.inputs, b.labels);
+    }
+    const auto eval = data.evalSet(256);
+    EXPECT_GT(trainer.evalAccuracy(eval.inputs, eval.labels), 0.88);
+}
+
+// ------------------------------------------------------------- shapes
+
+TEST(Layers, LinearShape)
+{
+    Rng rng(20);
+    Linear layer("fc", 3, 8, rng);
+    EXPECT_EQ(layer.forward(randomTensor({5, 3}, 21)).shape(),
+              (Shape{5, 8}));
+}
+
+TEST(Layers, ConvShapePadStride)
+{
+    Rng rng(22);
+    Conv2d layer("conv", Conv2dGeometry{3, 16, 5, 5, 2, 2}, rng);
+    EXPECT_EQ(layer.forward(randomTensor({2, 3, 32, 32}, 23)).shape(),
+              (Shape{2, 16, 16, 16}));
+}
+
+TEST(Layers, LstmShape)
+{
+    Rng rng(24);
+    Lstm layer("lstm", 6, 10, rng);
+    EXPECT_EQ(layer.forward(randomTensor({7, 3, 6}, 25)).shape(),
+              (Shape{7, 3, 10}));
+}
+
+TEST(Layers, MergeLeading)
+{
+    MergeLeading layer("m");
+    const Tensor out = layer.forward(randomTensor({3, 4, 5}, 26));
+    EXPECT_EQ(out.shape(), (Shape{12, 5}));
+    EXPECT_EQ(layer.backward(out).shape(), (Shape{3, 4, 5}));
+}
+
+TEST(Layers, FlattenRoundTrip)
+{
+    Flatten layer("f");
+    const Tensor out = layer.forward(randomTensor({3, 2, 4, 4}, 27));
+    EXPECT_EQ(out.shape(), (Shape{3, 32}));
+    EXPECT_EQ(layer.backward(out).shape(), (Shape{3, 2, 4, 4}));
+}
+
+// ------------------------------------------------------------- losses
+
+TEST(Loss, SoftmaxRowsSumToOne)
+{
+    const Tensor probs = softmax(randomTensor({6, 10}, 30));
+    for (std::size_t r = 0; r < 6; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < 10; ++c)
+            s += probs.at2(r, c);
+        EXPECT_NEAR(s, 1.0, 1e-5);
+    }
+}
+
+TEST(Loss, CrossEntropyPerfectPrediction)
+{
+    Tensor logits({2, 3});
+    logits.at2(0, 1) = 50.0f;
+    logits.at2(1, 2) = 50.0f;
+    SoftmaxCrossEntropy head;
+    EXPECT_NEAR(head.loss(logits, {1, 2}), 0.0, 1e-6);
+}
+
+TEST(Loss, CrossEntropyUniformIsLogC)
+{
+    Tensor logits({4, 8}); // all zeros -> uniform
+    SoftmaxCrossEntropy head;
+    EXPECT_NEAR(head.loss(logits, {0, 1, 2, 3}), std::log(8.0), 1e-6);
+}
+
+TEST(Loss, GradientMatchesFiniteDifference)
+{
+    Tensor logits = randomTensor({3, 5}, 31);
+    const std::vector<int> labels{1, 4, 0};
+    SoftmaxCrossEntropy head;
+    head.loss(logits, labels);
+    const Tensor grad = head.grad();
+
+    const double eps = 1e-3;
+    for (std::size_t i = 0; i < logits.numel(); ++i) {
+        Tensor lp = logits, lm = logits;
+        lp[i] += static_cast<float>(eps);
+        lm[i] -= static_cast<float>(eps);
+        SoftmaxCrossEntropy h2;
+        const double num =
+            (h2.loss(lp, labels) - h2.loss(lm, labels)) / (2 * eps);
+        EXPECT_NEAR(num, grad[i], 1e-4);
+    }
+}
+
+TEST(Loss, AccuracyCountsArgmax)
+{
+    Tensor logits({3, 2});
+    logits.at2(0, 1) = 1.0f; // predicts 1
+    logits.at2(1, 0) = 1.0f; // predicts 0
+    logits.at2(2, 1) = 1.0f; // predicts 1
+    EXPECT_NEAR(SoftmaxCrossEntropy::accuracy(logits, {1, 0, 0}),
+                2.0 / 3.0, 1e-9);
+}
+
+TEST(Loss, MseAndGrad)
+{
+    Tensor pred({2}, std::vector<float>{1.0f, 3.0f});
+    Tensor target({2}, std::vector<float>{0.0f, 1.0f});
+    EXPECT_NEAR(mseLoss(pred, target), 0.5 * (1.0 + 4.0) / 2.0, 1e-6);
+    const Tensor g = mseGrad(pred, target);
+    EXPECT_NEAR(g[0], 0.5f, 1e-6);
+    EXPECT_NEAR(g[1], 1.0f, 1e-6);
+}
+
+// ---------------------------------------------------------- optimizers
+
+TEST(OptimizerTest, SgdMatchesHandComputation)
+{
+    Param p("w", {2});
+    p.value[0] = 1.0f;
+    p.value[1] = -1.0f;
+    p.grad[0] = 0.5f;
+    p.grad[1] = -0.25f;
+    OptimizerConfig cfg;
+    cfg.kind = OptimizerKind::SGD;
+    cfg.lr = 0.1;
+    Optimizer opt(cfg);
+    opt.attach({&p});
+    opt.step();
+    EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+    EXPECT_FLOAT_EQ(p.value[1], -1.0f + 0.1f * 0.25f);
+}
+
+TEST(OptimizerTest, AdaGradAccumulatesSquares)
+{
+    Param p("w", {1});
+    p.value[0] = 0.0f;
+    OptimizerConfig cfg;
+    cfg.kind = OptimizerKind::AdaGrad;
+    cfg.lr = 1.0;
+    cfg.eps = 0.0;
+    Optimizer opt(cfg);
+    opt.attach({&p});
+    // Two steps with g = 3, then g = 4: v = 9 then 25.
+    p.grad[0] = 3.0f;
+    opt.step();
+    EXPECT_NEAR(p.value[0], -3.0 / 3.0, 1e-5);
+    p.grad[0] = 4.0f;
+    opt.step();
+    EXPECT_NEAR(p.value[0], -1.0 - 4.0 / 5.0, 1e-5);
+}
+
+TEST(OptimizerTest, RmsPropDecaysHistory)
+{
+    Param p("w", {1});
+    OptimizerConfig cfg;
+    cfg.kind = OptimizerKind::RMSProp;
+    cfg.lr = 0.01;
+    cfg.beta = 0.9;
+    cfg.eps = 0.0;
+    Optimizer opt(cfg);
+    opt.attach({&p});
+    p.grad[0] = 2.0f;
+    opt.step();
+    // v = 0.1 * 4 = 0.4; step = 0.01 * 2 / sqrt(0.4).
+    EXPECT_NEAR(p.value[0], -0.01 * 2.0 / std::sqrt(0.4), 1e-6);
+}
+
+TEST(OptimizerTest, AdamBiasCorrectionExact)
+{
+    Param p("w", {1});
+    OptimizerConfig cfg;
+    cfg.kind = OptimizerKind::Adam;
+    cfg.lr = 0.001;
+    cfg.eps = 0.0;
+    Optimizer opt(cfg);
+    opt.attach({&p});
+    p.grad[0] = 0.5f;
+    opt.step();
+    // After step 1 with exact bias correction, the update equals
+    // -lr * g / |g| = -lr.
+    EXPECT_NEAR(p.value[0], -0.001, 1e-6);
+}
+
+TEST(OptimizerTest, AdamFixedC5MatchesStepOne)
+{
+    // The paper's fixed-c5 Adam (fromConfig) equals exact Adam's
+    // constants at step 1: sqrt(1-b2^1)/(1-b1^1).
+    OptimizerConfig cfg;
+    cfg.kind = OptimizerKind::Adam;
+    const auto fixed = NdpoConstants::fromConfig(cfg);
+    const auto exact = NdpoConstants::forStep(cfg, 1);
+    EXPECT_NEAR(fixed.c5, exact.c5, 1e-12);
+    // And at large t the exact correction converges to lr.
+    EXPECT_NEAR(NdpoConstants::forStep(cfg, 100000).c5, cfg.lr, 1e-6);
+}
+
+TEST(OptimizerTest, ConvergesOnQuadratic)
+{
+    // Minimize (w - 3)^2 with each optimizer.
+    const struct
+    {
+        OptimizerKind kind;
+        double lr;
+    } cases[] = {
+        {OptimizerKind::SGD, 0.05},
+        {OptimizerKind::AdaGrad, 0.5},
+        {OptimizerKind::RMSProp, 0.02},
+        {OptimizerKind::Adam, 0.05},
+    };
+    for (const auto &c : cases) {
+        Param p("w", {1});
+        OptimizerConfig cfg;
+        cfg.kind = c.kind;
+        cfg.lr = c.lr;
+        Optimizer opt(cfg);
+        opt.attach({&p});
+        for (int i = 0; i < 800; ++i) {
+            p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+            opt.step();
+        }
+        EXPECT_NEAR(p.value[0], 3.0f, 0.1)
+            << optimizerKindName(c.kind);
+    }
+}
+
+// ------------------------------------------------------------ datasets
+
+TEST(Datasets, PatternImagesDeterministicEval)
+{
+    PatternImageDataset d(4, 1, 8, 8, 0.3, 99);
+    const auto a = d.evalSet(16);
+    const auto b = d.evalSet(16);
+    EXPECT_TRUE(a.inputs == b.inputs);
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Datasets, PatternImagesLabelRange)
+{
+    PatternImageDataset d(6, 2, 8, 8, 0.3, 7);
+    const auto batch = d.sample(64);
+    for (int l : batch.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, 6);
+    }
+    EXPECT_EQ(batch.inputs.shape(), (Shape{64, 2, 8, 8}));
+}
+
+TEST(Datasets, SpiralSeparable)
+{
+    SpiralDataset d(2, 0.05, 3);
+    const auto b = d.sample(200);
+    // Points should be non-degenerate.
+    EXPECT_GT(b.inputs.maxAbs(), 0.5f);
+}
+
+TEST(Datasets, MarkovTargetsMatchNextTokens)
+{
+    MarkovTextDataset d(8, 5);
+    const auto batch = d.sample(6, 3);
+    EXPECT_EQ(batch.inputs.shape(), (Shape{6, 3, 8}));
+    EXPECT_EQ(batch.targets.size(), 18u);
+    // One-hot rows.
+    for (std::size_t t = 0; t < 6; ++t)
+        for (std::size_t b = 0; b < 3; ++b) {
+            float s = 0.0f;
+            for (std::size_t v = 0; v < 8; ++v)
+                s += batch.inputs[(t * 3 + b) * 8 + v];
+            EXPECT_FLOAT_EQ(s, 1.0f);
+        }
+}
+
+TEST(Datasets, MarkovIsLearnable)
+{
+    // A bigram table fit on samples should beat the uniform model.
+    MarkovTextDataset d(8, 6);
+    const auto batch = d.sample(64, 16);
+    std::array<std::array<double, 8>, 8> counts{};
+    for (std::size_t t = 0; t < 64; ++t)
+        for (std::size_t b = 0; b < 16; ++b) {
+            int cur = 0;
+            for (std::size_t v = 0; v < 8; ++v)
+                if (batch.inputs[(t * 16 + b) * 8 + v] > 0.5f)
+                    cur = static_cast<int>(v);
+            counts[cur][batch.targets[t * 16 + b]] += 1.0;
+        }
+    double nll = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = 0; t < 64; ++t)
+        for (std::size_t b = 0; b < 16; ++b) {
+            int cur = 0;
+            for (std::size_t v = 0; v < 8; ++v)
+                if (batch.inputs[(t * 16 + b) * 8 + v] > 0.5f)
+                    cur = static_cast<int>(v);
+            double total = 1e-9;
+            for (double c : counts[cur])
+                total += c;
+            nll -= std::log(
+                (counts[cur][batch.targets[t * 16 + b]] + 1e-9) /
+                total);
+            ++n;
+        }
+    EXPECT_LT(nll / n, std::log(8.0) * 0.8);
+}
+
+TEST(Datasets, SequenceRuleShapes)
+{
+    SequenceRuleDataset d(4, 12, 10, 8);
+    const auto b = d.sample(5);
+    EXPECT_EQ(b.inputs.shape(), (Shape{50, 12}));
+    EXPECT_EQ(b.labels.size(), 5u);
+}
+
+// -------------------------------------------------------- quant trainer
+
+TEST(QuantTrainerTest, Fp32LearnsSpiral)
+{
+    SpiralDataset data(2, 0.1, 17);
+    Rng rng(18);
+    Network net;
+    net.add(std::make_unique<Linear>("fc1", 2, 32, rng));
+    net.add(std::make_unique<Activation>("t", ActKind::Tanh));
+    net.add(std::make_unique<Linear>("fc2", 32, 2, rng));
+
+    QuantTrainerConfig cfg;
+    cfg.optimizer.kind = OptimizerKind::Adam;
+    cfg.optimizer.lr = 5e-3;
+    QuantTrainer trainer(net, cfg);
+
+    for (int i = 0; i < 200; ++i) {
+        const auto b = data.sample(64);
+        trainer.stepClassification(b.inputs, b.labels);
+    }
+    const auto eval = data.evalSet(256);
+    EXPECT_GT(trainer.evalAccuracy(eval.inputs, eval.labels), 0.9);
+}
+
+TEST(QuantTrainerTest, QuantizedLearnsSpiralToo)
+{
+    SpiralDataset data(2, 0.1, 17);
+    Rng rng(18);
+    Network net;
+    net.add(std::make_unique<Linear>("fc1", 2, 32, rng));
+    net.add(std::make_unique<Activation>("t", ActKind::Tanh));
+    net.add(std::make_unique<Linear>("fc2", 32, 2, rng));
+
+    QuantTrainerConfig cfg;
+    cfg.algorithm = quant::AlgorithmConfig::zhang2020Hqt(64);
+    cfg.optimizer.kind = OptimizerKind::Adam;
+    cfg.optimizer.lr = 5e-3;
+    QuantTrainer trainer(net, cfg);
+
+    for (int i = 0; i < 200; ++i) {
+        const auto b = data.sample(64);
+        trainer.stepClassification(b.inputs, b.labels);
+    }
+    const auto eval = data.evalSet(256);
+    EXPECT_GT(trainer.evalAccuracy(eval.inputs, eval.labels), 0.88);
+}
+
+TEST(QuantTrainerTest, MasterWeightsStayFullPrecision)
+{
+    // After a step, the network holds master (unquantized) weights --
+    // quantized copies exist only during forward/backward.
+    SpiralDataset data(2, 0.1, 19);
+    Rng rng(20);
+    Network net;
+    net.add(std::make_unique<Linear>("fc1", 2, 16, rng));
+    net.add(std::make_unique<Linear>("fc2", 16, 2, rng));
+
+    QuantTrainerConfig cfg;
+    cfg.algorithm = quant::AlgorithmConfig::zhu2019();
+    QuantTrainer trainer(net, cfg);
+    const auto b = data.sample(8);
+    trainer.stepClassification(b.inputs, b.labels);
+
+    // Quantizing the current weights must change them (i.e. they are
+    // not already a quantized lattice).
+    Param *w = net.params()[0];
+    const Tensor q = quant::applyPolicy(w->value, cfg.algorithm,
+                                        quant::TensorRole::Weight);
+    EXPECT_FALSE(q == w->value);
+}
+
+TEST(QuantTrainerTest, GradientRecordsCollected)
+{
+    SpiralDataset data(2, 0.1, 21);
+    Rng rng(22);
+    Network net;
+    net.add(std::make_unique<Linear>("fc1", 2, 8, rng));
+    net.add(std::make_unique<Linear>("fc2", 8, 2, rng));
+
+    QuantTrainerConfig cfg;
+    cfg.recordGradientStats = true;
+    QuantTrainer trainer(net, cfg);
+    const auto b = data.sample(8);
+    trainer.stepClassification(b.inputs, b.labels);
+    // One record per layer per step.
+    EXPECT_EQ(trainer.gradientRecords().size(), 2u);
+    EXPECT_EQ(trainer.gradientRecords()[0].step, 1u);
+}
+
+TEST(QuantTrainerTest, DeterministicGivenSeeds)
+{
+    const auto run = [] {
+        SpiralDataset data(2, 0.1, 23);
+        Rng rng(24);
+        Network net;
+        net.add(std::make_unique<Linear>("fc1", 2, 8, rng));
+        net.add(std::make_unique<Linear>("fc2", 8, 2, rng));
+        QuantTrainerConfig cfg;
+        cfg.algorithm = quant::AlgorithmConfig::zhang2020();
+        QuantTrainer trainer(net, cfg);
+        double loss = 0.0;
+        for (int i = 0; i < 5; ++i) {
+            const auto b = data.sample(8);
+            loss = trainer.stepClassification(b.inputs, b.labels);
+        }
+        return loss;
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(QuantTrainerTest, LanguageModelPerplexityDrops)
+{
+    MarkovTextDataset data(8, 31);
+    Rng rng(32);
+    Network net;
+    net.add(std::make_unique<Lstm>("lstm", 8, 16, rng));
+    net.add(std::make_unique<MergeLeading>("m"));
+    net.add(std::make_unique<Linear>("proj", 16, 8, rng));
+
+    QuantTrainerConfig cfg;
+    cfg.optimizer.kind = OptimizerKind::Adam;
+    cfg.optimizer.lr = 1e-2;
+    QuantTrainer trainer(net, cfg);
+
+    const auto eval = data.evalSet(12, 16);
+    const double before =
+        trainer.evalPerplexity(eval.inputs, eval.targets, 8);
+    for (int i = 0; i < 60; ++i) {
+        const auto b = data.sample(12, 16);
+        trainer.stepLanguageModel(b.inputs, b.targets, 8);
+    }
+    const double after =
+        trainer.evalPerplexity(eval.inputs, eval.targets, 8);
+    EXPECT_LT(after, before * 0.8);
+    EXPECT_LT(after, 8.0); // below the uniform-model perplexity
+}
+
+// ------------------------------------------------------------- network
+
+TEST(NetworkTest, ForwardHookSeesEveryLayer)
+{
+    Rng rng(40);
+    Network net;
+    net.add(std::make_unique<Linear>("a", 4, 4, rng));
+    net.add(std::make_unique<Linear>("b", 4, 4, rng));
+    net.add(std::make_unique<Linear>("c", 4, 2, rng));
+
+    std::vector<std::size_t> seen;
+    net.forward(randomTensor({2, 4}, 41),
+                [&](const Tensor &x, std::size_t i) {
+                    seen.push_back(i);
+                    return x;
+                });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(NetworkTest, BackwardHookReverseOrder)
+{
+    Rng rng(42);
+    Network net;
+    net.add(std::make_unique<Linear>("a", 4, 4, rng));
+    net.add(std::make_unique<Linear>("b", 4, 2, rng));
+    net.forward(randomTensor({2, 4}, 43));
+
+    std::vector<std::size_t> seen;
+    net.backward(randomTensor({2, 2}, 44),
+                 [&](const Tensor &g, std::size_t i) {
+                     seen.push_back(i);
+                     return g;
+                 });
+    EXPECT_EQ(seen, (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(NetworkTest, NumParamsCounts)
+{
+    Rng rng(45);
+    Network net;
+    net.add(std::make_unique<Linear>("a", 4, 8, rng)); // 32 + 8
+    net.add(std::make_unique<Linear>("b", 8, 2, rng)); // 16 + 2
+    EXPECT_EQ(net.numParams(), 58u);
+}
+
+} // namespace
+} // namespace cq::nn

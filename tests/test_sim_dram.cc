@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the event queue and the DRAM controller model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/dram_controller.h"
+#include "sim/event_queue.h"
+
+namespace cq {
+namespace {
+
+// ---------------------------------------------------------------- events
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(7, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    sim::EventQueue q;
+    int fired = 0;
+    q.scheduleAt(1, [&] {
+        ++fired;
+        q.scheduleIn(5, [&] { ++fired; });
+    });
+    q.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.now(), 6u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    sim::EventQueue q;
+    int fired = 0;
+    q.scheduleAt(5, [&] { ++fired; });
+    q.scheduleAt(15, [&] { ++fired; });
+    q.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PendingCount)
+{
+    sim::EventQueue q;
+    q.scheduleAt(1, [] {});
+    q.scheduleAt(2, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+}
+
+// ---------------------------------------------------------------- DRAM
+
+TEST(Dram, PeakBandwidthMatchesSpec)
+{
+    const dram::DramConfig cfg = dram::DramConfig::lpddr4_2133();
+    // 64 B / 3.75 ticks = 17.06 GB/s at 1 GHz ticks.
+    EXPECT_NEAR(cfg.peakBytesPerTick(), 17.06, 0.05);
+}
+
+TEST(Dram, SequentialStreamApproachesPeak)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    const Bytes bytes = 8 << 20; // 8 MiB
+    const Tick done = ctrl.transfer(0, 0, bytes, false);
+    const double achieved =
+        static_cast<double>(bytes) / static_cast<double>(done);
+    // Row misses every 2 KiB cost a little; expect > 90% of peak.
+    EXPECT_GT(achieved, 0.9 * ctrl.config().peakBytesPerTick());
+    EXPECT_LE(achieved, ctrl.config().peakBytesPerTick() + 0.01);
+}
+
+TEST(Dram, RowHitsDominateSequential)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    ctrl.transfer(0, 0, 1 << 20, false);
+    const double hits = ctrl.stats().get("dram.rowHits");
+    const double misses = ctrl.stats().get("dram.rowMisses");
+    // 2 KiB rows, 64 B bursts -> 31 hits per miss, minus the rows
+    // that periodic refresh closes mid-stream.
+    EXPECT_NEAR(hits / misses, 31.0, 1.5);
+}
+
+TEST(Dram, RandomAccessSlowerThanSequential)
+{
+    dram::DramController seq(dram::DramConfig::lpddr4_2133());
+    dram::DramController rnd(dram::DramConfig::lpddr4_2133());
+
+    const Tick t_seq = seq.transfer(0, 0, 256 * 64, false);
+
+    Tick t = 0;
+    for (int i = 0; i < 256; ++i) {
+        // Jump rows within one bank: worst-case locality.
+        const Addr addr = static_cast<Addr>(i) * 8 * 2048;
+        t = rnd.transfer(t, addr, 64, false);
+    }
+    EXPECT_GT(t, 2 * t_seq);
+}
+
+TEST(Dram, WritesCountedSeparately)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    ctrl.transfer(0, 0, 4096, true);
+    EXPECT_EQ(ctrl.stats().get("dram.writes"), 64.0);
+    EXPECT_EQ(ctrl.stats().get("dram.reads"), 0.0);
+}
+
+TEST(Dram, EnergyAccumulates)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    EXPECT_EQ(ctrl.dynamicEnergy(), 0.0);
+    ctrl.transfer(0, 0, 64 * 1024, false);
+    const PicoJoule after_read = ctrl.dynamicEnergy();
+    EXPECT_GT(after_read, 0.0);
+    ctrl.transfer(ctrl.busFreeAt(), 1 << 24, 64 * 1024, true);
+    EXPECT_GT(ctrl.dynamicEnergy(), after_read);
+}
+
+TEST(Dram, StandbyEnergyScalesWithTime)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    EXPECT_DOUBLE_EQ(ctrl.standbyEnergy(2000),
+                     2.0 * ctrl.standbyEnergy(1000));
+}
+
+TEST(Dram, EarliestStartRespected)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    const Tick done = ctrl.transfer(100000, 0, 64, false);
+    EXPECT_GE(done, 100000u);
+}
+
+TEST(Dram, ScaledChannelsFaster)
+{
+    dram::DramController one(dram::DramConfig::lpddr4_2133());
+    dram::DramController four(dram::DramConfig::scaled(4));
+    const Bytes bytes = 4 << 20;
+    const Tick t1 = one.transfer(0, 0, bytes, false);
+    const Tick t4 = four.transfer(0, 0, bytes, false);
+    EXPECT_LT(3 * t4, t1); // close to 4x faster
+}
+
+TEST(Dram, ResetClearsState)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    ctrl.transfer(0, 0, 4096, false);
+    ctrl.reset();
+    EXPECT_EQ(ctrl.dynamicEnergy(), 0.0);
+    EXPECT_EQ(ctrl.busBytes(), 0u);
+    EXPECT_EQ(ctrl.busFreeAt(), 0u);
+}
+
+// ---------------------------------------------------------------- NDP path
+
+TEST(DramNdp, UpdateCheaperThanExplicitTraffic)
+{
+    // In-place NDP update vs moving w/m/v + dW through the bus.
+    const std::size_t weights = 1 << 20;
+
+    dram::DramController ndp(dram::DramConfig::lpddr4_2133());
+    const Tick t_ndp = ndp.ndpUpdate(0, 0, weights, 4);
+
+    dram::DramController exp(dram::DramConfig::lpddr4_2133());
+    Tick t = 0;
+    // Read dW, w, m; write w, m (RMSProp): 20 B per weight.
+    t = exp.transfer(t, 0x00000000, weights * 4, false);
+    t = exp.transfer(t, 0x10000000, weights * 4, false);
+    t = exp.transfer(t, 0x20000000, weights * 4, false);
+    t = exp.transfer(t, 0x10000000, weights * 4, true);
+    t = exp.transfer(t, 0x20000000, weights * 4, true);
+
+    EXPECT_LT(t_ndp, t / 3);
+    // Bus bytes: only gradients cross for NDP.
+    EXPECT_EQ(ndp.busBytes(), weights * 4);
+    EXPECT_EQ(exp.busBytes(), weights * 20);
+}
+
+TEST(DramNdp, ProtocolCommandCounts)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    // One row group: 512 4-byte weights fill a 2 KiB row.
+    ctrl.ndpUpdate(0, 0, 512, 4);
+    // 3 ACT + 3 PRE per row group (w, m, v rows).
+    EXPECT_EQ(ctrl.stats().get("dram.activates"), 3.0);
+    EXPECT_EQ(ctrl.stats().get("dram.precharges"), 3.0);
+    EXPECT_EQ(ctrl.stats().get("dram.ndpRowGroups"), 1.0);
+    EXPECT_EQ(ctrl.stats().get("dram.ndpElements"), 512.0);
+}
+
+TEST(DramNdp, MultiRowGroups)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    ctrl.ndpUpdate(0, 0, 2048, 4); // four row groups
+    EXPECT_EQ(ctrl.stats().get("dram.ndpRowGroups"), 4.0);
+    EXPECT_EQ(ctrl.stats().get("dram.activates"), 12.0);
+}
+
+
+TEST(Dram, RefreshesIssuedPeriodically)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    // Stream long enough to cross several tREFI boundaries.
+    Tick t = 0;
+    for (int i = 0; i < 100; ++i)
+        t = ctrl.transfer(t, static_cast<Addr>(i) * 4096, 4096, false);
+    const double refreshes = ctrl.stats().get("dram.refreshes");
+    EXPECT_GE(refreshes,
+              static_cast<double>(t / ctrl.config().tREFI) - 1.0);
+}
+
+TEST(Dram, RefreshDisableRestoresThroughput)
+{
+    dram::DramConfig no_ref = dram::DramConfig::lpddr4_2133();
+    no_ref.refreshEnabled = false;
+    dram::DramController with(dram::DramConfig::lpddr4_2133());
+    dram::DramController without(no_ref);
+    const Bytes bytes = 4 << 20;
+    const Tick t_with = with.transfer(0, 0, bytes, false);
+    const Tick t_without = without.transfer(0, 0, bytes, false);
+    EXPECT_GT(t_with, t_without);
+    // Overhead roughly tRFC / tREFI (~7%).
+    EXPECT_LT(static_cast<double>(t_with),
+              1.12 * static_cast<double>(t_without));
+}
+
+TEST(Dram, RefreshClosesOpenRows)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    ctrl.transfer(0, 0, 64, false); // opens a row
+    const double misses0 = ctrl.stats().get("dram.rowMisses");
+    // Access the same row again *after* a refresh boundary: the row
+    // was closed by the refresh, so this is another miss.
+    ctrl.transfer(2 * ctrl.config().tREFI, 0, 64, false);
+    EXPECT_GT(ctrl.stats().get("dram.rowMisses"), misses0);
+}
+
+} // namespace
+} // namespace cq

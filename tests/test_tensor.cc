@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the tensor library: shapes, ops, GEMM variants,
+ * im2col/col2im and distance metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq {
+namespace {
+
+TEST(Tensor, ShapeNumel)
+{
+    EXPECT_EQ(shapeNumel({}), 1u);
+    EXPECT_EQ(shapeNumel({3}), 3u);
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24u);
+}
+
+TEST(Tensor, ConstructZeroFilled)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6u);
+    for (std::size_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructWithValue)
+{
+    Tensor t({4}, 2.5f);
+    EXPECT_EQ(t.sum(), 10.0f);
+}
+
+TEST(Tensor, At2Indexing)
+{
+    Tensor t({2, 3});
+    t.at2(1, 2) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+}
+
+TEST(Tensor, At4Indexing)
+{
+    Tensor t({2, 3, 4, 5});
+    t.at4(1, 2, 3, 4) = 9.0f;
+    EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.0f);
+}
+
+TEST(Tensor, ReshapeKeepsData)
+{
+    Tensor t({2, 3}, 1.0f);
+    t[4] = 5.0f;
+    t.reshape({3, 2});
+    EXPECT_EQ(t.at2(2, 0), 5.0f);
+}
+
+TEST(Tensor, Reductions)
+{
+    Tensor t({4}, std::vector<float>{-3.0f, 1.0f, 2.0f, -0.5f});
+    EXPECT_FLOAT_EQ(t.sum(), -0.5f);
+    EXPECT_FLOAT_EQ(t.maxAbs(), 3.0f);
+    EXPECT_FLOAT_EQ(t.min(), -3.0f);
+    EXPECT_FLOAT_EQ(t.max(), 2.0f);
+    EXPECT_FLOAT_EQ(t.mean(), -0.125f);
+    EXPECT_FLOAT_EQ(t.sumSquares(), 9.0f + 1.0f + 4.0f + 0.25f);
+}
+
+TEST(Tensor, FillGaussianStats)
+{
+    Rng rng(3);
+    Tensor t({100000});
+    t.fillGaussian(rng, 1.0f, 0.5f);
+    EXPECT_NEAR(t.mean(), 1.0f, 0.02f);
+}
+
+TEST(Tensor, ApplyElementwise)
+{
+    Tensor t({3}, 2.0f);
+    t.apply([](float x) { return x * x; });
+    EXPECT_FLOAT_EQ(t.sum(), 12.0f);
+}
+
+TEST(TensorOps, AddSubMul)
+{
+    Tensor a({2}, std::vector<float>{1.0f, 2.0f});
+    Tensor b({2}, std::vector<float>{3.0f, 5.0f});
+    EXPECT_EQ(add(a, b)[1], 7.0f);
+    EXPECT_EQ(sub(b, a)[0], 2.0f);
+    EXPECT_EQ(mul(a, b)[1], 10.0f);
+    EXPECT_EQ(scale(a, 4.0f)[0], 4.0f);
+}
+
+TEST(TensorOps, Accumulate)
+{
+    Tensor a({2}, 1.0f);
+    Tensor b({2}, 2.0f);
+    accumulate(a, b, 0.5f);
+    EXPECT_FLOAT_EQ(a[0], 2.0f);
+}
+
+TEST(TensorOps, MatmulSmallKnown)
+{
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    const Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(TensorOps, MatmulTransVariantsAgree)
+{
+    Rng rng(5);
+    Tensor a({7, 5});
+    Tensor b({5, 6});
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    b.fillGaussian(rng, 0.0f, 1.0f);
+    const Tensor c = matmul(a, b);
+
+    const Tensor at = transpose(a);
+    const Tensor bt = transpose(b);
+    const Tensor c1 = matmulTransA(at, b);
+    const Tensor c2 = matmulTransB(a, bt);
+    EXPECT_LT(maxAbsDiff(c, c1), 1e-4);
+    EXPECT_LT(maxAbsDiff(c, c2), 1e-4);
+}
+
+TEST(TensorOps, TransposeRoundTrip)
+{
+    Rng rng(6);
+    Tensor a({4, 9});
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    EXPECT_TRUE(transpose(transpose(a)) == a);
+}
+
+TEST(TensorOps, Conv2dGeometryDims)
+{
+    Conv2dGeometry g{3, 8, 3, 3, 1, 1};
+    EXPECT_EQ(g.outH(16), 16u);
+    EXPECT_EQ(g.outW(16), 16u);
+    Conv2dGeometry s{3, 8, 3, 3, 2, 0};
+    EXPECT_EQ(s.outH(7), 3u);
+}
+
+TEST(TensorOps, Im2colIdentityKernel)
+{
+    // 1x1 kernel im2col is just a reshape.
+    Rng rng(7);
+    Tensor x({2, 3, 4, 4});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Conv2dGeometry g{3, 1, 1, 1, 1, 0};
+    const Tensor cols = im2col(x, g);
+    EXPECT_EQ(cols.dim(0), 2u * 4 * 4);
+    EXPECT_EQ(cols.dim(1), 3u);
+    // Element (n=0, oy=1, ox=2, c=1) equals x(0, 1, 1, 2).
+    EXPECT_FLOAT_EQ(cols.at2((0 * 4 + 1) * 4 + 2, 1), x.at4(0, 1, 1, 2));
+}
+
+TEST(TensorOps, Im2colPaddingZeros)
+{
+    Tensor x({1, 1, 2, 2}, 1.0f);
+    Conv2dGeometry g{1, 1, 3, 3, 1, 1};
+    const Tensor cols = im2col(x, g);
+    // Top-left output patch: corners outside the image are zero.
+    EXPECT_FLOAT_EQ(cols.at2(0, 0), 0.0f); // (-1,-1)
+    EXPECT_FLOAT_EQ(cols.at2(0, 4), 1.0f); // (0,0)
+}
+
+TEST(TensorOps, Col2imAdjointOfIm2col)
+{
+    // <im2col(x), y> == <x, col2im(y)> (adjoint property).
+    Rng rng(8);
+    Tensor x({2, 3, 6, 6});
+    x.fillGaussian(rng, 0.0f, 1.0f);
+    Conv2dGeometry g{3, 4, 3, 3, 2, 1};
+    const Tensor cols = im2col(x, g);
+    Tensor y(cols.shape());
+    y.fillGaussian(rng, 0.0f, 1.0f);
+    const Tensor back = col2im(y, x.shape(), g);
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < cols.numel(); ++i)
+        lhs += static_cast<double>(cols[i]) * y[i];
+    for (std::size_t i = 0; i < x.numel(); ++i)
+        rhs += static_cast<double>(x[i]) * back[i];
+    EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(TensorOps, Distances)
+{
+    Tensor a({3}, std::vector<float>{1.0f, 0.0f, -1.0f});
+    Tensor b({3}, std::vector<float>{0.0f, 0.0f, -1.0f});
+    EXPECT_DOUBLE_EQ(rectilinearDistance(a, b), 1.0);
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 1.0);
+    EXPECT_NEAR(rmse(a, b), std::sqrt(1.0 / 3.0), 1e-9);
+    EXPECT_NEAR(meanBias(a, b), 1.0 / 3.0, 1e-9);
+}
+
+TEST(TensorOps, CosineSimilarityIdentical)
+{
+    Rng rng(9);
+    Tensor a({64});
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    EXPECT_NEAR(cosineSimilarity(a, a), 1.0, 1e-9);
+    EXPECT_NEAR(cosineSimilarity(a, scale(a, -2.0f)), -1.0, 1e-9);
+}
+
+} // namespace
+} // namespace cq

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * cqsim: the command-line front end of the Cambricon-Q simulator.
+ *
+ * Lowers one of the Table VI workloads (or a custom GEMM) to an
+ * instruction stream for the selected target and simulates one
+ * training minibatch, printing time, energy, phase/unit breakdowns
+ * and (optionally) the per-instruction trace or disassembly.
+ *
+ * Usage:
+ *   cqsim --network resnet18 [--target cq|cq-nondp|cq-t|cq-v|tpu]
+ *         [--bits 4|8|12|16] [--optimizer sgd|adagrad|rmsprop|adam]
+ *         [--batch N] [--stats] [--disasm N] [--trace]
+ *   cqsim --gemm m,n,k [--target ...] [--bits ...]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "arch/accelerator.h"
+#include "baseline/tpu_sim.h"
+#include "compiler/codegen.h"
+#include "compiler/workloads.h"
+
+using namespace cq;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cqsim --network "
+        "<alexnet|resnet18|googlenet|squeezenet|transformer|lstm|tiny>\n"
+        "             [--target cq|cq-nondp|cq-t|cq-v|tpu] [--bits B]\n"
+        "             [--optimizer sgd|adagrad|rmsprop|adam] "
+        "[--batch N]\n"
+        "             [--stats] [--disasm N] [--trace]\n"
+        "       cqsim --gemm m,n,k [options]\n");
+    std::exit(2);
+}
+
+compiler::WorkloadIR
+pickWorkload(const std::string &name, std::size_t batch)
+{
+    const std::size_t b = batch;
+    if (name == "alexnet")
+        return compiler::buildAlexNet(b ? b : 32);
+    if (name == "resnet18")
+        return compiler::buildResNet18(b ? b : 32);
+    if (name == "googlenet")
+        return compiler::buildGoogLeNet(b ? b : 32);
+    if (name == "squeezenet")
+        return compiler::buildSqueezeNet(b ? b : 32);
+    if (name == "transformer")
+        return compiler::buildTransformerBase(b ? b : 260);
+    if (name == "lstm")
+        return compiler::buildPtbLstm(b ? b : 1000);
+    if (name == "tiny")
+        return compiler::buildTinyCnn(b ? b : 4);
+    std::fprintf(stderr, "unknown network '%s'\n", name.c_str());
+    usage();
+    __builtin_unreachable();
+}
+
+compiler::WorkloadIR
+gemmWorkload(const std::string &spec)
+{
+    std::uint64_t m = 0, n = 0, k = 0;
+    if (std::sscanf(spec.c_str(), "%llu,%llu,%llu",
+                    reinterpret_cast<unsigned long long *>(&m),
+                    reinterpret_cast<unsigned long long *>(&n),
+                    reinterpret_cast<unsigned long long *>(&k)) != 3 ||
+        m == 0 || n == 0 || k == 0) {
+        std::fprintf(stderr, "bad --gemm spec '%s' (want m,n,k)\n",
+                     spec.c_str());
+        usage();
+    }
+    compiler::NetworkBuilder b("gemm-" + spec, m);
+    b.inputFlat(k);
+    b.fc("gemm", n, false, m);
+    return b.build();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string network, gemm, target = "cq", optimizer = "rmsprop";
+    int bits = 8;
+    std::size_t batch = 0, disasm = 0;
+    bool stats = false, trace = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--network")
+            network = next();
+        else if (arg == "--gemm")
+            gemm = next();
+        else if (arg == "--target")
+            target = next();
+        else if (arg == "--bits")
+            bits = std::atoi(next().c_str());
+        else if (arg == "--optimizer")
+            optimizer = next();
+        else if (arg == "--batch")
+            batch = std::strtoul(next().c_str(), nullptr, 10);
+        else if (arg == "--disasm")
+            disasm = std::strtoul(next().c_str(), nullptr, 10);
+        else if (arg == "--stats")
+            stats = true;
+        else if (arg == "--trace")
+            trace = true;
+        else
+            usage();
+    }
+    if (network.empty() == gemm.empty())
+        usage(); // exactly one of --network / --gemm
+
+    const compiler::WorkloadIR ir =
+        gemm.empty() ? pickWorkload(network, batch)
+                     : gemmWorkload(gemm);
+
+    arch::CambriconQConfig cfg;
+    compiler::CodegenOptions opts;
+    if (target == "cq") {
+        cfg = arch::CambriconQConfig::edge();
+    } else if (target == "cq-nondp") {
+        cfg = arch::CambriconQConfig::edgeNoNdp();
+    } else if (target == "cq-t") {
+        cfg = arch::CambriconQConfig::throughputT();
+    } else if (target == "cq-v") {
+        cfg = arch::CambriconQConfig::throughputV();
+    } else if (target == "tpu") {
+        cfg = baseline::tpuConfig();
+        opts.target = compiler::CodegenOptions::Target::Tpu;
+    } else {
+        std::fprintf(stderr, "unknown target '%s'\n", target.c_str());
+        usage();
+    }
+    if (bits != 4 && bits != 8 && bits != 12 && bits != 16) {
+        std::fprintf(stderr, "unsupported --bits %d\n", bits);
+        usage();
+    }
+    opts.bits = bits;
+    if (optimizer == "sgd")
+        opts.optimizer = nn::OptimizerKind::SGD;
+    else if (optimizer == "adagrad")
+        opts.optimizer = nn::OptimizerKind::AdaGrad;
+    else if (optimizer == "rmsprop")
+        opts.optimizer = nn::OptimizerKind::RMSProp;
+    else if (optimizer == "adam")
+        opts.optimizer = nn::OptimizerKind::Adam;
+    else
+        usage();
+
+    const arch::Program prog =
+        compiler::generateProgram(ir, cfg, opts);
+    const auto traffic = compiler::summarizeTraffic(prog);
+
+    std::printf("workload:  %s (batch %zu, %.2f GMACs, %.1f M "
+                "weights)\n",
+                ir.name.c_str(), ir.batch, ir.totalMacs / 1e9,
+                ir.totalWeights / 1e6);
+    std::printf("target:    %s @ INT%d, optimizer %s\n",
+                cfg.name.c_str(), bits, optimizer.c_str());
+    std::printf("program:   %zu instructions, %.3f GB loads, %.3f GB "
+                "stores\n",
+                prog.size(), traffic.loadBytes / 1e9,
+                traffic.storeBytes / 1e9);
+
+    if (disasm > 0) {
+        std::printf("\ndisassembly (first %zu):\n",
+                    std::min(disasm, prog.size()));
+        for (std::size_t i = 0; i < std::min(disasm, prog.size());
+             ++i)
+            std::printf("  %6zu: %s\n", i, prog[i].toString().c_str());
+    }
+
+    arch::Accelerator acc(cfg);
+    const auto report = acc.run(prog, trace);
+
+    std::printf("\nresult:    %.3f ms, %.2f mJ (%.2f W average)\n",
+                report.timeMs(cfg.freqGhz), report.energyMj(),
+                report.energyMj() / report.timeMs(cfg.freqGhz));
+    std::printf("phases:   ");
+    for (std::size_t p = 0; p < arch::kNumPhases; ++p)
+        std::printf(" %s=%.1f%%",
+                    arch::phaseName(static_cast<arch::Phase>(p)),
+                    100.0 * report.phaseFraction(
+                                static_cast<arch::Phase>(p)));
+    std::printf("\nunits:    ");
+    for (std::size_t u = 0; u < arch::kNumUnits; ++u)
+        std::printf(" %s=%.1f%%",
+                    arch::unitName(static_cast<arch::Unit>(u)),
+                    100.0 * report.unitBusy[u] /
+                        static_cast<double>(report.totalTicks));
+    std::printf("\nenergy:    ACC %.1f mJ | BUF %.1f mJ | DDR-dyn "
+                "%.1f mJ | DDR-standby %.1f mJ | static %.1f mJ\n",
+                report.energy.accPj * 1e-9,
+                report.energy.bufPj * 1e-9,
+                report.energy.ddrDynamicPj * 1e-9,
+                report.energy.ddrStandbyPj * 1e-9,
+                report.energy.chipStaticPj * 1e-9);
+
+    if (stats) {
+        std::printf("\n%s",
+                    report.activity.dump("activity counters:").c_str());
+    }
+    if (trace) {
+        std::printf("\ntrace: %zu entries (instr unit phase start "
+                    "end); first 20:\n",
+                    report.trace.size());
+        for (std::size_t i = 0;
+             i < std::min<std::size_t>(20, report.trace.size()); ++i) {
+            const auto &e = report.trace[i];
+            std::printf("  %6u %-9s %-2s %10llu %10llu\n", e.instr,
+                        arch::unitName(e.unit),
+                        arch::phaseName(e.phase),
+                        static_cast<unsigned long long>(e.start),
+                        static_cast<unsigned long long>(e.end));
+        }
+    }
+    return 0;
+}
