@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_int4.dir/bench_ablation_int4.cc.o"
+  "CMakeFiles/bench_ablation_int4.dir/bench_ablation_int4.cc.o.d"
+  "bench_ablation_int4"
+  "bench_ablation_int4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_int4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

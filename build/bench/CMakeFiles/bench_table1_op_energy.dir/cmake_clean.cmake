@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_op_energy.dir/bench_table1_op_energy.cc.o"
+  "CMakeFiles/bench_table1_op_energy.dir/bench_table1_op_energy.cc.o.d"
+  "bench_table1_op_energy"
+  "bench_table1_op_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_op_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continual_learning.dir/continual_learning.cpp.o"
+  "CMakeFiles/continual_learning.dir/continual_learning.cpp.o.d"
+  "continual_learning"
+  "continual_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continual_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

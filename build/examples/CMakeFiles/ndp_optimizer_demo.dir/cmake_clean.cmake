@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndp_optimizer_demo.dir/ndp_optimizer_demo.cpp.o"
+  "CMakeFiles/ndp_optimizer_demo.dir/ndp_optimizer_demo.cpp.o.d"
+  "ndp_optimizer_demo"
+  "ndp_optimizer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndp_optimizer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

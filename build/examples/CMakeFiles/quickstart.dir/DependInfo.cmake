@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/cq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cq_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cq_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cq_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/cq_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cq_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

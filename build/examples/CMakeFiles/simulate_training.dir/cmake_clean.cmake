@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_training.dir/simulate_training.cpp.o"
+  "CMakeFiles/simulate_training.dir/simulate_training.cpp.o.d"
+  "simulate_training"
+  "simulate_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/accelerator.cc" "src/arch/CMakeFiles/cq_arch.dir/accelerator.cc.o" "gcc" "src/arch/CMakeFiles/cq_arch.dir/accelerator.cc.o.d"
+  "/root/repo/src/arch/config.cc" "src/arch/CMakeFiles/cq_arch.dir/config.cc.o" "gcc" "src/arch/CMakeFiles/cq_arch.dir/config.cc.o.d"
+  "/root/repo/src/arch/isa.cc" "src/arch/CMakeFiles/cq_arch.dir/isa.cc.o" "gcc" "src/arch/CMakeFiles/cq_arch.dir/isa.cc.o.d"
+  "/root/repo/src/arch/ndp_engine.cc" "src/arch/CMakeFiles/cq_arch.dir/ndp_engine.cc.o" "gcc" "src/arch/CMakeFiles/cq_arch.dir/ndp_engine.cc.o.d"
+  "/root/repo/src/arch/pe_array.cc" "src/arch/CMakeFiles/cq_arch.dir/pe_array.cc.o" "gcc" "src/arch/CMakeFiles/cq_arch.dir/pe_array.cc.o.d"
+  "/root/repo/src/arch/qbc.cc" "src/arch/CMakeFiles/cq_arch.dir/qbc.cc.o" "gcc" "src/arch/CMakeFiles/cq_arch.dir/qbc.cc.o.d"
+  "/root/repo/src/arch/quantized_gemm.cc" "src/arch/CMakeFiles/cq_arch.dir/quantized_gemm.cc.o" "gcc" "src/arch/CMakeFiles/cq_arch.dir/quantized_gemm.cc.o.d"
+  "/root/repo/src/arch/squ.cc" "src/arch/CMakeFiles/cq_arch.dir/squ.cc.o" "gcc" "src/arch/CMakeFiles/cq_arch.dir/squ.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/cq_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/cq_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cq_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/cq_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_arch.dir/accelerator.cc.o"
+  "CMakeFiles/cq_arch.dir/accelerator.cc.o.d"
+  "CMakeFiles/cq_arch.dir/config.cc.o"
+  "CMakeFiles/cq_arch.dir/config.cc.o.d"
+  "CMakeFiles/cq_arch.dir/isa.cc.o"
+  "CMakeFiles/cq_arch.dir/isa.cc.o.d"
+  "CMakeFiles/cq_arch.dir/ndp_engine.cc.o"
+  "CMakeFiles/cq_arch.dir/ndp_engine.cc.o.d"
+  "CMakeFiles/cq_arch.dir/pe_array.cc.o"
+  "CMakeFiles/cq_arch.dir/pe_array.cc.o.d"
+  "CMakeFiles/cq_arch.dir/qbc.cc.o"
+  "CMakeFiles/cq_arch.dir/qbc.cc.o.d"
+  "CMakeFiles/cq_arch.dir/quantized_gemm.cc.o"
+  "CMakeFiles/cq_arch.dir/quantized_gemm.cc.o.d"
+  "CMakeFiles/cq_arch.dir/squ.cc.o"
+  "CMakeFiles/cq_arch.dir/squ.cc.o.d"
+  "libcq_arch.a"
+  "libcq_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

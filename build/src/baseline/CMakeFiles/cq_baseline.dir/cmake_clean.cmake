@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_baseline.dir/gpu_model.cc.o"
+  "CMakeFiles/cq_baseline.dir/gpu_model.cc.o.d"
+  "CMakeFiles/cq_baseline.dir/tpu_sim.cc.o"
+  "CMakeFiles/cq_baseline.dir/tpu_sim.cc.o.d"
+  "libcq_baseline.a"
+  "libcq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

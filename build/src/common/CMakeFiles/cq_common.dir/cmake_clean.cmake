@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_common.dir/logging.cc.o"
+  "CMakeFiles/cq_common.dir/logging.cc.o.d"
+  "CMakeFiles/cq_common.dir/rng.cc.o"
+  "CMakeFiles/cq_common.dir/rng.cc.o.d"
+  "CMakeFiles/cq_common.dir/stats.cc.o"
+  "CMakeFiles/cq_common.dir/stats.cc.o.d"
+  "libcq_common.a"
+  "libcq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

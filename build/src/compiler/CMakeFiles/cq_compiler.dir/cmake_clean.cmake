@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_compiler.dir/codegen.cc.o"
+  "CMakeFiles/cq_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/cq_compiler.dir/workload_ir.cc.o"
+  "CMakeFiles/cq_compiler.dir/workload_ir.cc.o.d"
+  "CMakeFiles/cq_compiler.dir/workloads.cc.o"
+  "CMakeFiles/cq_compiler.dir/workloads.cc.o.d"
+  "libcq_compiler.a"
+  "libcq_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_dram.dir/dram_controller.cc.o"
+  "CMakeFiles/cq_dram.dir/dram_controller.cc.o.d"
+  "libcq_dram.a"
+  "libcq_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_energy.dir/energy_model.cc.o"
+  "CMakeFiles/cq_energy.dir/energy_model.cc.o.d"
+  "libcq_energy.a"
+  "libcq_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

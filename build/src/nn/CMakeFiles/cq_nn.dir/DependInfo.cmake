@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/cq_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/cq_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/nn/CMakeFiles/cq_nn.dir/batchnorm.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/cq_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/datasets.cc" "src/nn/CMakeFiles/cq_nn.dir/datasets.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/datasets.cc.o.d"
+  "/root/repo/src/nn/layernorm.cc" "src/nn/CMakeFiles/cq_nn.dir/layernorm.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/layernorm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/cq_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/cq_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/cq_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/cq_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/pooling.cc" "src/nn/CMakeFiles/cq_nn.dir/pooling.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/pooling.cc.o.d"
+  "/root/repo/src/nn/quant_trainer.cc" "src/nn/CMakeFiles/cq_nn.dir/quant_trainer.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/quant_trainer.cc.o.d"
+  "/root/repo/src/nn/residual.cc" "src/nn/CMakeFiles/cq_nn.dir/residual.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/residual.cc.o.d"
+  "/root/repo/src/nn/softmax.cc" "src/nn/CMakeFiles/cq_nn.dir/softmax.cc.o" "gcc" "src/nn/CMakeFiles/cq_nn.dir/softmax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/cq_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

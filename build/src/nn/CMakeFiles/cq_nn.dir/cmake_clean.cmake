@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_nn.dir/activation.cc.o"
+  "CMakeFiles/cq_nn.dir/activation.cc.o.d"
+  "CMakeFiles/cq_nn.dir/attention.cc.o"
+  "CMakeFiles/cq_nn.dir/attention.cc.o.d"
+  "CMakeFiles/cq_nn.dir/batchnorm.cc.o"
+  "CMakeFiles/cq_nn.dir/batchnorm.cc.o.d"
+  "CMakeFiles/cq_nn.dir/conv2d.cc.o"
+  "CMakeFiles/cq_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/cq_nn.dir/datasets.cc.o"
+  "CMakeFiles/cq_nn.dir/datasets.cc.o.d"
+  "CMakeFiles/cq_nn.dir/layernorm.cc.o"
+  "CMakeFiles/cq_nn.dir/layernorm.cc.o.d"
+  "CMakeFiles/cq_nn.dir/linear.cc.o"
+  "CMakeFiles/cq_nn.dir/linear.cc.o.d"
+  "CMakeFiles/cq_nn.dir/lstm.cc.o"
+  "CMakeFiles/cq_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/cq_nn.dir/network.cc.o"
+  "CMakeFiles/cq_nn.dir/network.cc.o.d"
+  "CMakeFiles/cq_nn.dir/optimizer.cc.o"
+  "CMakeFiles/cq_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/cq_nn.dir/pooling.cc.o"
+  "CMakeFiles/cq_nn.dir/pooling.cc.o.d"
+  "CMakeFiles/cq_nn.dir/quant_trainer.cc.o"
+  "CMakeFiles/cq_nn.dir/quant_trainer.cc.o.d"
+  "CMakeFiles/cq_nn.dir/residual.cc.o"
+  "CMakeFiles/cq_nn.dir/residual.cc.o.d"
+  "CMakeFiles/cq_nn.dir/softmax.cc.o"
+  "CMakeFiles/cq_nn.dir/softmax.cc.o.d"
+  "libcq_nn.a"
+  "libcq_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

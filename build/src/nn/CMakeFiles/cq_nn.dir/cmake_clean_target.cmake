@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcq_nn.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/block_quant.cc" "src/quant/CMakeFiles/cq_quant.dir/block_quant.cc.o" "gcc" "src/quant/CMakeFiles/cq_quant.dir/block_quant.cc.o.d"
+  "/root/repo/src/quant/e2bqm.cc" "src/quant/CMakeFiles/cq_quant.dir/e2bqm.cc.o" "gcc" "src/quant/CMakeFiles/cq_quant.dir/e2bqm.cc.o.d"
+  "/root/repo/src/quant/policy.cc" "src/quant/CMakeFiles/cq_quant.dir/policy.cc.o" "gcc" "src/quant/CMakeFiles/cq_quant.dir/policy.cc.o.d"
+  "/root/repo/src/quant/qformat.cc" "src/quant/CMakeFiles/cq_quant.dir/qformat.cc.o" "gcc" "src/quant/CMakeFiles/cq_quant.dir/qformat.cc.o.d"
+  "/root/repo/src/quant/statistics.cc" "src/quant/CMakeFiles/cq_quant.dir/statistics.cc.o" "gcc" "src/quant/CMakeFiles/cq_quant.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/cq_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

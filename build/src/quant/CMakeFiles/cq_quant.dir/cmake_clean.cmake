@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_quant.dir/block_quant.cc.o"
+  "CMakeFiles/cq_quant.dir/block_quant.cc.o.d"
+  "CMakeFiles/cq_quant.dir/e2bqm.cc.o"
+  "CMakeFiles/cq_quant.dir/e2bqm.cc.o.d"
+  "CMakeFiles/cq_quant.dir/policy.cc.o"
+  "CMakeFiles/cq_quant.dir/policy.cc.o.d"
+  "CMakeFiles/cq_quant.dir/qformat.cc.o"
+  "CMakeFiles/cq_quant.dir/qformat.cc.o.d"
+  "CMakeFiles/cq_quant.dir/statistics.cc.o"
+  "CMakeFiles/cq_quant.dir/statistics.cc.o.d"
+  "libcq_quant.a"
+  "libcq_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

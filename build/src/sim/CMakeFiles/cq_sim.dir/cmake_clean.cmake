@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_sim.dir/event_queue.cc.o"
+  "CMakeFiles/cq_sim.dir/event_queue.cc.o.d"
+  "libcq_sim.a"
+  "libcq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

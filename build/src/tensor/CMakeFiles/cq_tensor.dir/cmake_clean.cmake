@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_tensor.dir/tensor.cc.o"
+  "CMakeFiles/cq_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/cq_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/cq_tensor.dir/tensor_ops.cc.o.d"
+  "libcq_tensor.a"
+  "libcq_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_properties.dir/test_codegen_properties.cc.o"
+  "CMakeFiles/test_codegen_properties.dir/test_codegen_properties.cc.o.d"
+  "test_codegen_properties"
+  "test_codegen_properties.pdb"
+  "test_codegen_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_float_formats.dir/test_float_formats.cc.o"
+  "CMakeFiles/test_float_formats.dir/test_float_formats.cc.o.d"
+  "test_float_formats"
+  "test_float_formats.pdb"
+  "test_float_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_float_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_dram.dir/test_sim_dram.cc.o"
+  "CMakeFiles/test_sim_dram.dir/test_sim_dram.cc.o.d"
+  "test_sim_dram"
+  "test_sim_dram.pdb"
+  "test_sim_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqsim.dir/cqsim.cc.o"
+  "CMakeFiles/cqsim.dir/cqsim.cc.o.d"
+  "cqsim"
+  "cqsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
