@@ -11,6 +11,7 @@
 #include "arch/ndp_engine.h"
 #include "arch/pe_array.h"
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "dram/dram_controller.h"
 #include "nn/optimizer.h"
 #include "quant/block_quant.h"
@@ -85,6 +86,48 @@ BM_Gemm(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+/**
+ * Thread-scaling sweep over the shared pool: a 512^3 GEMM at 1/2/4/8
+ * threads. items_per_second is the GEMM throughput, so the 4-thread /
+ * 1-thread ratio in BENCH_*.json is the speedup the pool delivers.
+ */
+void
+BM_GemmThreads(benchmark::State &state)
+{
+    const std::size_t n = 512;
+    ThreadPool::instance().setNumThreads(
+        static_cast<unsigned>(state.range(0)));
+    Rng rng(3);
+    Tensor a({n, n}), b({n, n});
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    b.fillGaussian(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        Tensor c = matmul(a, b);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+    ThreadPool::instance().setNumThreads(0);
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void
+BM_HqtThreads(benchmark::State &state)
+{
+    ThreadPool::instance().setNumThreads(
+        static_cast<unsigned>(state.range(0)));
+    const Tensor x = gradientTensor(1 << 18);
+    const auto cfg = quant::E2bqmConfig::clippingLadder(8);
+    for (auto _ : state) {
+        Tensor q = quant::fakeQuantizeHqt(x, 1024, cfg);
+        benchmark::DoNotOptimize(q.data());
+    }
+    state.SetItemsProcessed(state.iterations() * x.numel());
+    ThreadPool::instance().setNumThreads(0);
+}
+BENCHMARK(BM_HqtThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void
 BM_BitSerialMultiply(benchmark::State &state)

@@ -10,6 +10,7 @@
 
 #include "arch/pe_array.h"
 #include "common/logging.h"
+#include "common/threadpool.h"
 #include "quant/qformat.h"
 #include "quant/statistics.h"
 
@@ -57,44 +58,54 @@ quantizedMatmul(const Tensor &a, const Tensor &b,
     CQ_ASSERT(options.blockK > 0);
 
     // Quantize every A row and B column segment-wise (what the SQU
-    // produces into NBin/SB, with QBC tags per line).
+    // produces into NBin/SB, with QBC tags per line). Rows and
+    // columns are quantized independently of each other.
     std::vector<SegmentedVector> rows(m);
-    for (std::size_t i = 0; i < m; ++i)
-        rows[i] = quantizeSegments(a.data() + i * k, k, 1,
-                                   options.blockK, options.bits);
+    parallelFor(0, m, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+            rows[i] = quantizeSegments(a.data() + i * k, k, 1,
+                                       options.blockK, options.bits);
+    });
     std::vector<SegmentedVector> cols(n);
-    for (std::size_t j = 0; j < n; ++j)
-        cols[j] = quantizeSegments(b.data() + j, k, n, options.blockK,
-                                   options.bits);
+    parallelFor(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j)
+            cols[j] = quantizeSegments(b.data() + j, k, n,
+                                       options.blockK, options.bits);
+    });
 
     Tensor c({m, n});
     const std::size_t nseg = (k + options.blockK - 1) / options.blockK;
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < n; ++j) {
-            double acc_fp = 0.0;
-            for (std::size_t s = 0; s < nseg; ++s) {
-                const std::size_t lo = s * options.blockK;
-                const std::size_t hi =
-                    std::min(lo + options.blockK, k);
-                // Integer dot product of the segment: this is the
-                // adder tree over bit-serial PE products, held in the
-                // wide (38-bit) accumulator.
-                std::int64_t acc = 0;
-                for (std::size_t kk = lo; kk < hi; ++kk) {
-                    acc += PeArray::bitSerialMultiply(
-                        rows[i].levels[kk], options.bits,
-                        cols[j].levels[kk], options.bits);
+    // Output rows are independent; the per-element segment
+    // accumulation order never changes with the thread count.
+    parallelFor(0, m, 1, [&](std::size_t ilo, std::size_t ihi) {
+        for (std::size_t i = ilo; i < ihi; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                double acc_fp = 0.0;
+                for (std::size_t s = 0; s < nseg; ++s) {
+                    const std::size_t lo = s * options.blockK;
+                    const std::size_t hi =
+                        std::min(lo + options.blockK, k);
+                    // Integer dot product of the segment: this is the
+                    // adder tree over bit-serial PE products, held in
+                    // the wide (38-bit) accumulator.
+                    std::int64_t acc = 0;
+                    for (std::size_t kk = lo; kk < hi; ++kk) {
+                        acc += PeArray::bitSerialMultiply(
+                            rows[i].levels[kk], options.bits,
+                            cols[j].levels[kk], options.bits);
+                    }
+                    CQ_ASSERT_MSG(acc < (1ll << 37) &&
+                                      acc > -(1ll << 37),
+                                  "accumulator overflow in segment");
+                    // Dequantizer stage: scale by both tags into FP32.
+                    acc_fp += PeArray::dequantize(
+                        acc, rows[i].tags[s].scale,
+                        cols[j].tags[s].scale);
                 }
-                CQ_ASSERT_MSG(acc < (1ll << 37) &&
-                                  acc > -(1ll << 37),
-                              "accumulator overflow in segment");
-                // Dequantizer stage: scale by both tags into FP32.
-                acc_fp += PeArray::dequantize(
-                    acc, rows[i].tags[s].scale, cols[j].tags[s].scale);
+                c.at2(i, j) = static_cast<float>(acc_fp);
             }
-            c.at2(i, j) = static_cast<float>(acc_fp);
         }
-    }
+    });
     return c;
 }
 

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
 
 namespace cq::nn {
 
@@ -122,8 +123,14 @@ Optimizer::step()
         Param *p = params_[pi];
         Tensor &m = m_[pi];
         Tensor &v = v_[pi];
-        for (std::size_t i = 0; i < p->value.numel(); ++i)
-            k.apply(p->value[i], m[i], v[i], p->grad[i]);
+        // Each weight's update is independent; chunking over i is
+        // bitwise deterministic.
+        parallelFor(0, p->value.numel(), 1 << 14,
+                    [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i)
+                            k.apply(p->value[i], m[i], v[i],
+                                    p->grad[i]);
+                    });
     }
 }
 

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
 
 namespace cq::quant {
 
@@ -133,6 +134,28 @@ runCandidate(const Tensor &x, double max_abs, const QuantCandidate &cand,
 
 } // namespace
 
+std::size_t
+arbitrate(const std::vector<CandidateResult> &candidates)
+{
+    CQ_ASSERT(!candidates.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        // Signed metrics (MeanBias) arbitrate on magnitude.
+        const double ea = std::fabs(candidates[i].error);
+        const double eb = std::fabs(candidates[best].error);
+        const double tol = kArbitrationRelEps * std::max(ea, eb);
+        if (std::fabs(ea - eb) <= tol) {
+            // (Near-)equal error: the cheaper format wins.
+            if (candidates[i].candidate.bits <
+                candidates[best].candidate.bits)
+                best = i;
+        } else if (ea < eb) {
+            best = i;
+        }
+    }
+    return best;
+}
+
 E2bqmResult
 e2bqmQuantize(const Tensor &x, const E2bqmConfig &config)
 {
@@ -146,27 +169,22 @@ e2bqmQuantize(const Tensor &x, const E2bqmConfig &config)
 
     // Steps 2+3: time-multiplexed candidate quantization with fused
     // error estimation (the SQU re-reads the *buffered* block, not
-    // memory).
+    // memory). Candidates only read x, so the sweep runs one
+    // candidate per chunk; each candidate's streaming error
+    // accumulation stays a single sequential pass.
     E2bqmResult result;
-    result.candidates.reserve(config.candidates.size());
-    for (const auto &cand : config.candidates) {
-        result.candidates.push_back(
-            runCandidate(x, max_abs, cand, config.metric));
-    }
+    result.candidates.resize(config.candidates.size());
+    parallelFor(0, config.candidates.size(), 1,
+                [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i) {
+                        result.candidates[i] = runCandidate(
+                            x, max_abs, config.candidates[i],
+                            config.metric);
+                    }
+                });
 
-    // Step 4: arbitration. Lower error wins; on (near-)equal error the
-    // cheaper format (fewer bits, then earlier candidate) wins.
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < result.candidates.size(); ++i) {
-        const auto &a = result.candidates[i];
-        const auto &b = result.candidates[best];
-        if (a.error < b.error ||
-            (a.error == b.error &&
-             a.candidate.bits < b.candidate.bits)) {
-            best = i;
-        }
-    }
-    result.selected = best;
+    // Step 4: arbitration.
+    result.selected = arbitrate(result.candidates);
     return result;
 }
 
@@ -183,15 +201,21 @@ fakeQuantizeHqt(const Tensor &x, std::size_t block_size,
     CQ_ASSERT(block_size > 0);
     Tensor out(x.shape());
     const std::size_t n = x.numel();
-    for (std::size_t lo = 0; lo < n; lo += block_size) {
-        const std::size_t hi = std::min(lo + block_size, n);
-        Tensor block({hi - lo});
-        for (std::size_t i = lo; i < hi; ++i)
-            block[i - lo] = x[i];
-        const Tensor deq = fakeQuantizeE2bqm(block, config);
-        for (std::size_t i = lo; i < hi; ++i)
-            out[i] = deq[i - lo];
-    }
+    const std::size_t nblocks = (n + block_size - 1) / block_size;
+    // Blocks are quantized independently and write disjoint output
+    // slices; the nested E2BQM candidate sweep runs inline.
+    parallelFor(0, nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
+        for (std::size_t blk = blo; blk < bhi; ++blk) {
+            const std::size_t lo = blk * block_size;
+            const std::size_t hi = std::min(lo + block_size, n);
+            Tensor block({hi - lo});
+            for (std::size_t i = lo; i < hi; ++i)
+                block[i - lo] = x[i];
+            const Tensor deq = fakeQuantizeE2bqm(block, config);
+            for (std::size_t i = lo; i < hi; ++i)
+                out[i] = deq[i - lo];
+        }
+    });
     return out;
 }
 

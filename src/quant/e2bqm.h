@@ -102,6 +102,22 @@ struct E2bqmResult
     const CandidateResult &best() const { return candidates[selected]; }
 };
 
+/**
+ * Relative tolerance under which two candidate errors count as equal
+ * during arbitration: within it, the cheaper format (fewer bits, then
+ * the earlier candidate) wins, so a 1-ULP error difference can never
+ * force INT16 over INT8.
+ */
+inline constexpr double kArbitrationRelEps = 1e-9;
+
+/**
+ * Pick the winning candidate index from filled-in results: smallest
+ * |error| wins; errors within kArbitrationRelEps (relative) of each
+ * other are ties broken toward fewer bits, then the earlier
+ * candidate. Signed metrics (MeanBias) are compared by magnitude.
+ */
+std::size_t arbitrate(const std::vector<CandidateResult> &candidates);
+
 E2bqmResult e2bqmQuantize(const Tensor &x, const E2bqmConfig &config);
 
 /** Round-trip through the selected candidate. */

@@ -147,6 +147,8 @@ FloatFormat::toString() const
 double
 roundToFloatFormat(double x, const FloatFormat &fmt)
 {
+    if (std::isnan(x))
+        return x; // NaN propagates; only finite overflow saturates
     if (x == 0.0 || !std::isfinite(x))
         return std::isfinite(x) ? 0.0
                                 : std::copysign(fmt.maxValue(), x);

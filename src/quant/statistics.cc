@@ -67,9 +67,11 @@ ErrorStat::value(ErrorMetric metric) const
         return 1.0 - dot_ / (std::sqrt(normX_) * std::sqrt(normQ_));
       }
       case ErrorMetric::MeanBias:
+        // Signed, matching the reference meanBias() in tensor_ops;
+        // arbitration compares magnitudes at the call site.
         return count_ == 0
             ? 0.0
-            : std::fabs(sumDiff_) / static_cast<double>(count_);
+            : sumDiff_ / static_cast<double>(count_);
       case ErrorMetric::MaxError:
         return maxDiff_;
     }

@@ -40,7 +40,7 @@ enum class ErrorMetric
     Rectilinear,
     /** 1 - cosine similarity (Zhu et al.'s direction sensitivity). */
     CosineDistance,
-    /** |mean(x - x')| (Zhang et al.'s mean bias). */
+    /** Signed mean(x - x') (Zhang et al.'s mean bias). */
     MeanBias,
     /** Max |x - x'| (worst-case rounding error). */
     MaxError,

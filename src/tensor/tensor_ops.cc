@@ -5,9 +5,11 @@
 
 #include "tensor/tensor_ops.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
 
 namespace cq {
 
@@ -21,6 +23,24 @@ checkSameShape(const Tensor &a, const Tensor &b, const char *op)
                   shapeToString(b.shape()).c_str());
 }
 
+/** Minimum elements per chunk for elementwise loops. */
+constexpr std::size_t kElementwiseGrain = 1 << 14;
+
+/** Minimum scalar operations worth shipping to another thread. */
+constexpr std::size_t kMinParallelWork = 1 << 15;
+
+/**
+ * Grain (rows per chunk) for a loop whose every index costs
+ * @p work_per_row scalar operations: small matrices stay serial,
+ * large ones split into one chunk per thread.
+ */
+std::size_t
+rowGrain(std::size_t work_per_row)
+{
+    return std::max<std::size_t>(
+        1, kMinParallelWork / std::max<std::size_t>(work_per_row, 1));
+}
+
 } // namespace
 
 Tensor
@@ -28,8 +48,11 @@ add(const Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "add");
     Tensor c(a.shape());
-    for (std::size_t i = 0; i < a.numel(); ++i)
-        c[i] = a[i] + b[i];
+    parallelFor(0, a.numel(), kElementwiseGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i)
+                        c[i] = a[i] + b[i];
+                });
     return c;
 }
 
@@ -38,8 +61,11 @@ sub(const Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "sub");
     Tensor c(a.shape());
-    for (std::size_t i = 0; i < a.numel(); ++i)
-        c[i] = a[i] - b[i];
+    parallelFor(0, a.numel(), kElementwiseGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i)
+                        c[i] = a[i] - b[i];
+                });
     return c;
 }
 
@@ -48,8 +74,11 @@ mul(const Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "mul");
     Tensor c(a.shape());
-    for (std::size_t i = 0; i < a.numel(); ++i)
-        c[i] = a[i] * b[i];
+    parallelFor(0, a.numel(), kElementwiseGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i)
+                        c[i] = a[i] * b[i];
+                });
     return c;
 }
 
@@ -57,8 +86,11 @@ Tensor
 scale(const Tensor &a, float s)
 {
     Tensor c(a.shape());
-    for (std::size_t i = 0; i < a.numel(); ++i)
-        c[i] = a[i] * s;
+    parallelFor(0, a.numel(), kElementwiseGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i)
+                        c[i] = a[i] * s;
+                });
     return c;
 }
 
@@ -66,8 +98,11 @@ void
 accumulate(Tensor &a, const Tensor &b, float s)
 {
     checkSameShape(a, b, "accumulate");
-    for (std::size_t i = 0; i < a.numel(); ++i)
-        a[i] += b[i] * s;
+    parallelFor(0, a.numel(), kElementwiseGrain,
+                [&](std::size_t lo, std::size_t hi) {
+                    for (std::size_t i = lo; i < hi; ++i)
+                        a[i] += b[i] * s;
+                });
 }
 
 Tensor
@@ -81,18 +116,22 @@ matmul(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    // i-k-j loop order: unit-stride access on b and c rows.
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = pa[i * k + kk];
-            if (av == 0.0f)
-                continue;
-            const float *brow = pb + kk * n;
-            float *crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+    // i-k-j loop order: unit-stride access on b and c rows. Output
+    // rows are independent, so chunking over i is deterministic: each
+    // c[i][j] accumulates in ascending kk order on every thread count.
+    parallelFor(0, m, rowGrain(k * n), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float av = pa[i * k + kk];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = pb + kk * n;
+                float *crow = pc + i * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -106,18 +145,22 @@ matmulTransA(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (std::size_t kk = 0; kk < k; ++kk) {
-        const float *arow = pa + kk * m;
-        const float *brow = pb + kk * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
+    // i outermost so output rows can be chunked across threads; for a
+    // fixed (i, j) the accumulation still runs in ascending kk order,
+    // so the result is bitwise independent of the thread count.
+    parallelFor(0, m, rowGrain(k * n), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
             float *crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float av = pa[kk * m + i];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = pb + kk * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -131,16 +174,18 @@ matmulTransB(const Tensor &a, const Tensor &b)
     const float *pa = a.data();
     const float *pb = b.data();
     float *pc = c.data();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = pa + i * k;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float *brow = pb + j * k;
-            double acc = 0.0;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                acc += static_cast<double>(arow[kk]) * brow[kk];
-            pc[i * n + j] = static_cast<float>(acc);
+    parallelFor(0, m, rowGrain(k * n), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            const float *arow = pa + i * k;
+            for (std::size_t j = 0; j < n; ++j) {
+                const float *brow = pb + j * k;
+                double acc = 0.0;
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    acc += static_cast<double>(arow[kk]) * brow[kk];
+                pc[i * n + j] = static_cast<float>(acc);
+            }
         }
-    }
+    });
     return c;
 }
 
@@ -182,36 +227,40 @@ im2col(const Tensor &input, const Conv2dGeometry &g)
 
     Tensor cols({n * p * q, patch});
     float *out = cols.data();
-    for (std::size_t in = 0; in < n; ++in) {
-        for (std::size_t oy = 0; oy < p; ++oy) {
-            for (std::size_t ox = 0; ox < q; ++ox) {
-                float *row = out + ((in * p + oy) * q + ox) * patch;
-                std::size_t idx = 0;
-                for (std::size_t ic = 0; ic < c; ++ic) {
-                    for (std::size_t ky = 0; ky < g.kernelH; ++ky) {
-                        const std::ptrdiff_t iy =
-                            static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+    // Every patch row of the output is written by exactly one index,
+    // so chunking the flattened (n, oy, ox) space is race-free.
+    parallelFor(0, n * p * q, rowGrain(patch),
+                [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+            const std::size_t in = r / (p * q);
+            const std::size_t oy = (r / q) % p;
+            const std::size_t ox = r % q;
+            float *row = out + r * patch;
+            std::size_t idx = 0;
+            for (std::size_t ic = 0; ic < c; ++ic) {
+                for (std::size_t ky = 0; ky < g.kernelH; ++ky) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                        static_cast<std::ptrdiff_t>(g.pad);
+                    for (std::size_t kx = 0; kx < g.kernelW; ++kx) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(
+                                ox * g.stride + kx) -
                             static_cast<std::ptrdiff_t>(g.pad);
-                        for (std::size_t kx = 0; kx < g.kernelW; ++kx) {
-                            const std::ptrdiff_t ix =
-                                static_cast<std::ptrdiff_t>(
-                                    ox * g.stride + kx) -
-                                static_cast<std::ptrdiff_t>(g.pad);
-                            float v = 0.0f;
-                            if (iy >= 0 && ix >= 0 &&
-                                iy < static_cast<std::ptrdiff_t>(h) &&
-                                ix < static_cast<std::ptrdiff_t>(w)) {
-                                v = input.at4(in, ic,
-                                              static_cast<std::size_t>(iy),
-                                              static_cast<std::size_t>(ix));
-                            }
-                            row[idx++] = v;
+                        float v = 0.0f;
+                        if (iy >= 0 && ix >= 0 &&
+                            iy < static_cast<std::ptrdiff_t>(h) &&
+                            ix < static_cast<std::ptrdiff_t>(w)) {
+                            v = input.at4(in, ic,
+                                          static_cast<std::size_t>(iy),
+                                          static_cast<std::size_t>(ix));
                         }
+                        row[idx++] = v;
                     }
                 }
             }
         }
-    }
+    });
     return cols;
 }
 
@@ -228,12 +277,22 @@ col2im(const Tensor &cols, const Shape &inputShape, const Conv2dGeometry &g)
 
     Tensor out(inputShape);
     const float *in = cols.data();
-    for (std::size_t inn = 0; inn < n; ++inn) {
-        for (std::size_t oy = 0; oy < p; ++oy) {
-            for (std::size_t ox = 0; ox < q; ++ox) {
-                const float *row = in + ((inn * p + oy) * q + ox) * patch;
-                std::size_t idx = 0;
-                for (std::size_t ic = 0; ic < c; ++ic) {
+    // Overlapping patches accumulate into the same input pixels, so
+    // the parallel dimension is the (image, channel) plane: each plane
+    // is touched by exactly one chunk, and inside a plane the patches
+    // are walked in the same (oy, ox, ky, kx) order as the serial
+    // loop, keeping every pixel's accumulation order fixed.
+    parallelFor(0, n * c, rowGrain(p * q * g.kernelH * g.kernelW),
+                [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t plane = lo; plane < hi; ++plane) {
+            const std::size_t inn = plane / c;
+            const std::size_t ic = plane % c;
+            const std::size_t patch_base = ic * g.kernelH * g.kernelW;
+            for (std::size_t oy = 0; oy < p; ++oy) {
+                for (std::size_t ox = 0; ox < q; ++ox) {
+                    const float *row =
+                        in + ((inn * p + oy) * q + ox) * patch;
+                    std::size_t idx = patch_base;
                     for (std::size_t ky = 0; ky < g.kernelH; ++ky) {
                         const std::ptrdiff_t iy =
                             static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
@@ -256,7 +315,7 @@ col2im(const Tensor &cols, const Shape &inputShape, const Conv2dGeometry &g)
                 }
             }
         }
-    }
+    });
     return out;
 }
 

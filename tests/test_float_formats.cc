@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.h"
 #include "quant/qformat.h"
@@ -75,6 +76,39 @@ TEST_P(FloatFormats, SaturationAndSymmetry)
         EXPECT_DOUBLE_EQ(roundToFloatFormat(-x, fmt),
                          -roundToFloatFormat(x, fmt));
     }
+}
+
+TEST_P(FloatFormats, NanPropagatesInfSaturates)
+{
+    const FloatFormat fmt = GetParam();
+    // NaN must survive the rounding, not silently become ±maxValue
+    // (regression: a NaN-poisoned tensor used to saturate and train
+    // on garbage without any signal).
+    const double qnan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(roundToFloatFormat(qnan, fmt)));
+    EXPECT_TRUE(std::isnan(roundToFloatFormat(-qnan, fmt)));
+    // Infinities saturate: the modeled datapath has no inf encoding.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(roundToFloatFormat(inf, fmt), fmt.maxValue());
+    EXPECT_DOUBLE_EQ(roundToFloatFormat(-inf, fmt), -fmt.maxValue());
+}
+
+TEST_P(FloatFormats, SubnormalsRoundOnFixedQuantum)
+{
+    const FloatFormat fmt = GetParam();
+    // Below minNormal the quantum is fixed at 2^(emin - mantBits).
+    const double quantum =
+        std::ldexp(1.0, 1 - fmt.bias - fmt.mantBits);
+    // The smallest subnormal is representable exactly...
+    EXPECT_DOUBLE_EQ(roundToFloatFormat(quantum, fmt), quantum);
+    EXPECT_DOUBLE_EQ(roundToFloatFormat(-quantum, fmt), -quantum);
+    // ...anything at or below half of it flushes to zero...
+    EXPECT_DOUBLE_EQ(roundToFloatFormat(quantum * 0.49, fmt), 0.0);
+    // ...and mid-range subnormals land on the quantum grid.
+    const double x = quantum * 2.75;
+    const double q = roundToFloatFormat(x, fmt);
+    EXPECT_DOUBLE_EQ(q, quantum * 3.0);
+    EXPECT_LT(q, fmt.minNormal());
 }
 
 TEST_P(FloatFormats, LossScalingPreservesRelativeError)

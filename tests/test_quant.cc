@@ -129,9 +129,30 @@ TEST(Statistics, ErrorStatMatchesTensorOps)
     EXPECT_NEAR(stat.value(ErrorMetric::CosineDistance),
                 1.0 - cosineSimilarity(a, b), 1e-6);
     EXPECT_NEAR(stat.value(ErrorMetric::MeanBias),
-                std::fabs(meanBias(a, b)), 1e-6);
+                meanBias(a, b), 1e-6);
     EXPECT_NEAR(stat.value(ErrorMetric::MaxError), maxAbsDiff(a, b),
                 1e-6);
+}
+
+TEST(Statistics, MeanBiasIsSigned)
+{
+    // Regression: the streaming MeanBias used to return |sum|/count
+    // while the tensor-ops reference returns the signed mean. Both
+    // must agree, sign included, on the same data.
+    Tensor a({4}), b({4});
+    // x - x' = {-1, -1, -1, +1}: mean bias is -0.5, not +0.5.
+    const float av[] = {0.0f, 1.0f, 2.0f, 4.0f};
+    const float bv[] = {1.0f, 2.0f, 3.0f, 3.0f};
+    ErrorStat stat;
+    for (int i = 0; i < 4; ++i) {
+        a[i] = av[i];
+        b[i] = bv[i];
+        stat.observe(av[i], bv[i]);
+    }
+    EXPECT_DOUBLE_EQ(stat.value(ErrorMetric::MeanBias), -0.5);
+    EXPECT_DOUBLE_EQ(meanBias(a, b), -0.5);
+    EXPECT_DOUBLE_EQ(stat.value(ErrorMetric::MeanBias),
+                     meanBias(a, b));
 }
 
 TEST(Statistics, ErrorStatPerfectMatchZero)
@@ -293,9 +314,46 @@ TEST(E2bqm, SelectsLowerErrorCandidate)
     // The unclipped candidate (index 0) wastes nearly all levels on
     // the outlier; a clipped one must be selected.
     EXPECT_NE(result.selected, 0u);
-    // And the winner has the minimum error.
+    // And the winner's error is minimal up to the arbitration
+    // tolerance (a near-tie may legitimately go to a cheaper format).
     for (const auto &cand : result.candidates)
-        EXPECT_LE(result.best().error, cand.error);
+        EXPECT_LE(result.best().error,
+                  cand.error + kArbitrationRelEps * cand.error);
+}
+
+TEST(E2bqm, ArbitrationNearTieGoesToFewerBits)
+{
+    // Regression: the arbiter documented "(near-)equal error → fewer
+    // bits wins" but compared with exact ==, so a 1-ULP error edge
+    // could force INT16 over INT8.
+    CandidateResult int8;
+    int8.candidate = {8, 1.0, 0};
+    int8.error = 0.125;
+    CandidateResult int16;
+    int16.candidate = {16, 1.0, 0};
+    // 1 ULP below the INT8 error: within the relative tolerance.
+    int16.error = std::nextafter(0.125, 0.0);
+    EXPECT_EQ(arbitrate({int8, int16}), 0u);
+    // Same near-tie with INT16 listed first still picks INT8.
+    EXPECT_EQ(arbitrate({int16, int8}), 1u);
+    // A clearly lower INT16 error must still win.
+    int16.error = 0.125 * (1.0 - 1e-6);
+    EXPECT_EQ(arbitrate({int8, int16}), 1u);
+    // Exactly equal errors also go to the cheaper format.
+    int16.error = 0.125;
+    EXPECT_EQ(arbitrate({int8, int16}), 0u);
+}
+
+TEST(E2bqm, ArbitrationComparesSignedMetricsByMagnitude)
+{
+    // MeanBias is signed: a bias of -0.2 is worse than +0.1.
+    CandidateResult neg;
+    neg.candidate = {8, 1.0, 0};
+    neg.error = -0.2;
+    CandidateResult pos;
+    pos.candidate = {16, 1.0, 0};
+    pos.error = 0.1;
+    EXPECT_EQ(arbitrate({neg, pos}), 1u);
 }
 
 TEST(E2bqm, NoClipNeededOnUniformData)
