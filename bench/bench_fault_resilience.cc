@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fault-resilience sweep: final accuracy of a quantized (HQT) training
+ * run vs DRAM bit-flip rate, with the guardrail/rollback subsystem on
+ * and off (DESIGN.md §5, EXPERIMENTS.md "Fault sweep").
+ *
+ * Faults target the FP32 master weights — the state Cambricon-Q keeps
+ * resident in DRAM for the whole run, which is exactly the state a
+ * memory upset would silently poison. The guarded column checkpoints
+ * every 10 steps and rolls back when a guard trips; the unguarded
+ * column is the same trainer with the resilience subsystem disabled.
+ *
+ * Usage: bench_fault_resilience [--smoke]
+ *   --smoke  two rates, fewer steps (CI wiring check, a few seconds)
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/activation.h"
+#include "nn/datasets.h"
+#include "nn/linear.h"
+#include "nn/quant_trainer.h"
+#include "sim/faults/fault_injector.h"
+
+using namespace cq;
+
+namespace {
+
+nn::Network
+makeMlp(std::uint64_t seed)
+{
+    Rng rng(seed);
+    nn::Network net;
+    net.add(std::make_unique<nn::Linear>("fc1", 2, 32, rng));
+    net.add(std::make_unique<nn::Activation>("t", nn::ActKind::Tanh));
+    net.add(std::make_unique<nn::Linear>("fc2", 32, 2, rng));
+    return net;
+}
+
+struct SweepPoint
+{
+    double accuracyPct = 0.0;
+    double finalLoss = 0.0;
+    std::size_t rollbacks = 0;
+    double trips = 0.0;
+    double bitsFlipped = 0.0;
+    bool diverged = false;
+};
+
+SweepPoint
+run(double rate, bool guardrails, int steps, const std::string &ckpt)
+{
+    nn::SpiralDataset data(2, 0.1, 17);
+    nn::Network net = makeMlp(18);
+
+    nn::QuantTrainerConfig cfg;
+    cfg.algorithm = quant::AlgorithmConfig::zhang2020Hqt(64);
+    cfg.optimizer.kind = nn::OptimizerKind::Adam;
+    cfg.optimizer.lr = 5e-3;
+    cfg.resilience.enabled = guardrails;
+    cfg.resilience.checkpointPath = guardrails ? ckpt : "";
+    cfg.resilience.checkpointInterval = 10;
+    nn::QuantTrainer trainer(net, cfg);
+
+    sim::FaultConfig fcfg;
+    fcfg.seed = 0xFA117;
+    fcfg.bitFlipsPerMbit = rate;
+    fcfg.burstLength = 2;
+    fcfg.targetMasterWeights = true;
+    sim::FaultInjector inj(fcfg);
+    if (rate > 0.0)
+        trainer.setFaultInjector(&inj);
+
+    SweepPoint p;
+    for (int i = 0; i < steps; ++i) {
+        const auto b = data.sample(64);
+        p.finalLoss = trainer.stepClassification(b.inputs, b.labels);
+        if (!std::isfinite(p.finalLoss))
+            p.diverged = true;
+    }
+    const auto eval = data.evalSet(256);
+    p.accuracyPct =
+        100.0 * trainer.evalAccuracy(eval.inputs, eval.labels);
+    p.rollbacks = trainer.rollbackCount();
+    const StatGroup stats = trainer.resilienceStats();
+    p.trips = stats.get("guard.breakerTrips") +
+              stats.get("guard.watchdogTrips");
+    p.bitsFlipped = stats.get("faults.bitsFlipped");
+    if (!std::isfinite(p.accuracyPct))
+        p.diverged = true;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool smoke =
+        argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    const int steps = smoke ? 60 : 200;
+    const std::vector<double> rates =
+        smoke ? std::vector<double>{0.0, 2000.0}
+              : std::vector<double>{0.0, 10.0, 100.0, 500.0, 1000.0,
+                                    2000.0, 4000.0, 8000.0};
+    const std::string ckpt = "/tmp/cq_bench_fault_resilience.ckpt";
+
+    std::printf("Fault resilience sweep: spiral MLP, Zhang-2020+HQT, "
+                "%d steps, faults on master weights\n\n",
+                steps);
+    std::printf("%12s | %26s | %26s\n", "",
+                "guardrails + rollback", "unprotected");
+    std::printf("%12s | %8s %6s %4s %5s | %8s %9s\n",
+                "flips/Mbit", "acc%", "loss", "rb", "trips", "acc%",
+                "loss");
+    std::printf("-------------+----------------------------+----------"
+                "-----------------\n");
+    for (const double rate : rates) {
+        const SweepPoint on = run(rate, true, steps, ckpt);
+        const SweepPoint off = run(rate, false, steps, ckpt);
+        char offLoss[32];
+        if (off.diverged)
+            std::snprintf(offLoss, sizeof offLoss, "diverged");
+        else
+            std::snprintf(offLoss, sizeof offLoss, "%9.3f",
+                          off.finalLoss);
+        std::printf("%12.0f | %7.1f%% %6.3f %4zu %5.0f | %7.1f%% %9s\n",
+                    rate, on.accuracyPct, on.finalLoss, on.rollbacks,
+                    on.trips, off.accuracyPct, offLoss);
+    }
+    std::printf("\nrb = rollbacks to the last CRC-verified checkpoint; "
+                "trips = breaker + watchdog trips.\n");
+    std::remove(ckpt.c_str());
+    return 0;
+}

@@ -24,8 +24,21 @@ NdpEngine::weightGradientStore(std::vector<float> &weights,
 {
     CQ_ASSERT_MSG(configured_,
                   "WGSTORE before CROSET configured the NDPO");
-    CQ_ASSERT(weights.size() == gradients.size() &&
-              m.size() == weights.size() && v.size() == weights.size());
+    CQ_ASSERT_MSG(weights.size() == gradients.size() &&
+                      m.size() == weights.size() &&
+                      v.size() == weights.size(),
+                  "w/m/v/g row sizes differ: w=%zu m=%zu v=%zu g=%zu",
+                  weights.size(), m.size(), v.size(), gradients.size());
+    if (faults_ != nullptr) {
+        // Upsets accumulated in the DRAM rows since the last update
+        // are visible to the NDPO when it opens them.
+        faults_->maybeCorrupt(weights.data(), weights.size(),
+                              sim::FaultSite::MasterWeights);
+        faults_->maybeCorrupt(m.data(), m.size(),
+                              sim::FaultSite::OptimizerState);
+        faults_->maybeCorrupt(v.data(), v.size(),
+                              sim::FaultSite::OptimizerState);
+    }
     for (std::size_t i = 0; i < weights.size(); ++i)
         constants_.apply(weights[i], m[i], v[i], gradients[i]);
     elements_ += weights.size();

@@ -23,6 +23,7 @@
 
 #include "common/types.h"
 #include "nn/optimizer.h"
+#include "sim/faults/fault_injector.h"
 
 namespace cq::arch {
 
@@ -49,10 +50,23 @@ class NdpEngine
     /** Elements processed since construction (activity counter). */
     std::uint64_t elementsProcessed() const { return elements_; }
 
+    /**
+     * Attach a fault injector (not owned; nullptr detaches). Before
+     * each WGSTORE the injector corrupts the DRAM-resident images it
+     * targets -- the w rows (MasterWeights) and the m/v rows
+     * (OptimizerState) -- modeling upsets that struck the cells since
+     * the previous update, so the NDPO reads the faulted values.
+     */
+    void attachFaultInjector(sim::FaultInjector *injector)
+    {
+        faults_ = injector;
+    }
+
   private:
     nn::NdpoConstants constants_;
     bool configured_ = false;
     std::uint64_t elements_ = 0;
+    sim::FaultInjector *faults_ = nullptr;
 };
 
 } // namespace cq::arch

@@ -107,4 +107,24 @@ Rng::gaussian(double mean, double stddev)
     return mean + stddev * gaussian();
 }
 
+Rng::State
+Rng::state() const
+{
+    State st;
+    for (int i = 0; i < 4; ++i)
+        st.s[i] = s_[i];
+    st.hasCached = hasCached_;
+    st.cached = cached_;
+    return st;
+}
+
+void
+Rng::setState(const State &state)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = state.s[i];
+    hasCached_ = state.hasCached;
+    cached_ = state.cached;
+}
+
 } // namespace cq

@@ -44,6 +44,21 @@ class Rng
     /** Normal with the given mean and standard deviation. */
     double gaussian(double mean, double stddev);
 
+    /**
+     * Full generator state, exposed so checkpoints can serialize a
+     * stream and resume it bit-exactly (including the cached Box-Muller
+     * value, so gaussian() sequences survive a save/restore).
+     */
+    struct State
+    {
+        std::uint64_t s[4] = {0, 0, 0, 0};
+        bool hasCached = false;
+        double cached = 0.0;
+    };
+
+    State state() const;
+    void setState(const State &state);
+
   private:
     std::uint64_t s_[4];
     bool hasCached_ = false;

@@ -65,7 +65,10 @@ struct ThreadPool::State
     std::size_t end = 0;
     std::size_t chunkSize = 0;
     std::size_t chunkCount = 0;
-    std::exception_ptr firstError;
+    /** Exception out of the lowest-indexed throwing chunk. */
+    std::exception_ptr error;
+    /** Chunk index that error came from (chunkCount = none yet). */
+    std::size_t errorChunk = 0;
     /** @} */
 
     /** Serializes concurrent top-level parallelFor callers. */
@@ -80,9 +83,15 @@ struct ThreadPool::State
         try {
             (*fn)(lo, hi);
         } catch (...) {
+            // Keep the exception of the lowest-indexed throwing chunk,
+            // not whichever chunk reached the mutex first: the caller
+            // then observes the same exception no matter how the OS
+            // schedules the workers.
             std::lock_guard<std::mutex> lock(mutex);
-            if (!firstError)
-                firstError = std::current_exception();
+            if (!error || chunk < errorChunk) {
+                error = std::current_exception();
+                errorChunk = chunk;
+            }
         }
     }
 
@@ -198,7 +207,8 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
         state_->end = end;
         state_->chunkSize = (range + chunks - 1) / chunks;
         state_->chunkCount = chunks;
-        state_->firstError = nullptr;
+        state_->error = nullptr;
+        state_->errorChunk = chunks;
         state_->pending = numThreads_ - 1;
         ++state_->generation;
     }
@@ -210,8 +220,14 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 
     std::unique_lock<std::mutex> lock(state_->mutex);
     state_->done.wait(lock, [this] { return state_->pending == 0; });
-    if (state_->firstError)
-        std::rethrow_exception(state_->firstError);
+    if (state_->error) {
+        // Clear before rethrow so a stale pointer can never leak into
+        // the next job if a future edit reorders the reset above.
+        std::exception_ptr err;
+        std::swap(err, state_->error);
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 void

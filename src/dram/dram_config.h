@@ -29,6 +29,15 @@ struct DramConfig
     /** Bytes transferred per column burst (BL16 on x64 -> 64 B is
      *  split into one bus burst here). */
     Bytes burstBytes = 64;
+    /**
+     * Addressable bytes per channel. Transfers beyond
+     * capacityBytes * channels are a caller bug (an unmapped row) and
+     * panic instead of silently wrapping the row index. The default
+     * covers the compiler's region-partitioned address space (16
+     * regions x 4 GiB, top nibble selects the region -- see
+     * src/compiler/codegen.cc), not a physical device capacity.
+     */
+    Bytes capacityBytes = 16ull << 32;
     /** @} */
 
     /** @name Timings (ticks @ 1 GHz, i.e. ns) */

@@ -53,6 +53,21 @@ DramController::applyRefreshUpTo(Tick now)
 }
 
 void
+DramController::checkRange(Addr addr, Bytes bytes) const
+{
+    const Bytes capacity =
+        config_.capacityBytes * static_cast<Bytes>(config_.channels);
+    CQ_ASSERT_MSG(addr < capacity && bytes <= capacity - addr,
+                  "address range [0x%llx, +%llu) exceeds DRAM capacity "
+                  "%llu B (%u channel(s) x %llu B)",
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(capacity),
+                  config_.channels,
+                  static_cast<unsigned long long>(config_.capacityBytes));
+}
+
+void
 DramController::mapAddress(Addr addr, std::size_t &bank,
                            std::uint64_t &row) const
 {
@@ -115,7 +130,10 @@ Tick
 DramController::transfer(Tick earliest, Addr addr, Bytes bytes,
                          bool is_write)
 {
-    CQ_ASSERT(bytes > 0);
+    CQ_ASSERT_MSG(bytes > 0, "zero-byte %s at addr 0x%llx",
+                  is_write ? "write" : "read",
+                  static_cast<unsigned long long>(addr));
+    checkRange(addr, bytes);
     applyRefreshUpTo(earliest);
     Tick done = earliest;
     Addr cur = addr;
@@ -163,7 +181,13 @@ Tick
 DramController::ndpUpdate(Tick earliest, Addr addr,
                           std::size_t num_elements, Bytes element_bytes)
 {
-    CQ_ASSERT(num_elements > 0 && element_bytes > 0);
+    CQ_ASSERT_MSG(num_elements > 0, "zero-element NDP update at 0x%llx",
+                  static_cast<unsigned long long>(addr));
+    CQ_ASSERT_MSG(element_bytes > 0 && element_bytes <= config_.rowBytes,
+                  "NDP element size %llu outside (0, rowBytes=%llu]",
+                  static_cast<unsigned long long>(element_bytes),
+                  static_cast<unsigned long long>(config_.rowBytes));
+    checkRange(addr, static_cast<Bytes>(num_elements) * element_bytes);
     applyRefreshUpTo(earliest);
     const std::size_t per_row =
         static_cast<std::size_t>(config_.rowBytes / element_bytes);

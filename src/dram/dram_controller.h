@@ -84,6 +84,9 @@ class DramController
     void reset();
 
   private:
+    /** Panic if [addr, addr+bytes) exceeds the addressable capacity. */
+    void checkRange(Addr addr, Bytes bytes) const;
+
     /** Map an address to (bank, row) under the Ro:Ba:Co scheme. */
     void mapAddress(Addr addr, std::size_t &bank,
                     std::uint64_t &row) const;

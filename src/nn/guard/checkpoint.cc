@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Implementation of checkpoint serialization.
+ */
+
+#include "nn/guard/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace cq::nn::guard {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'Q', 'C', 'K', 'P', 'T', '0', '1'};
+
+/** Paranoia bounds for reading possibly-corrupt headers: reject
+ *  absurd dimension counts / element counts before allocating. */
+constexpr std::uint32_t kMaxNdim = 16;
+constexpr std::uint64_t kMaxNumel = 1ull << 32;
+constexpr std::uint64_t kMaxParams = 1ull << 24;
+
+/** FILE sink that maintains a running CRC of everything written. */
+class CrcWriter
+{
+  public:
+    explicit CrcWriter(std::FILE *f) : f_(f) {}
+
+    bool
+    write(const void *data, std::size_t len)
+    {
+        crc_ = crc32(data, len, crc_);
+        return std::fwrite(data, 1, len, f_) == len;
+    }
+
+    template <typename T>
+    bool
+    writePod(const T &value)
+    {
+        return write(&value, sizeof(T));
+    }
+
+    /** Emit the running CRC itself (not folded into the next CRC). */
+    bool
+    writeCrc()
+    {
+        const std::uint32_t c = crc_;
+        crc_ = 0;
+        return std::fwrite(&c, 1, sizeof(c), f_) == sizeof(c);
+    }
+
+  private:
+    std::FILE *f_;
+    std::uint32_t crc_ = 0;
+};
+
+/** FILE source mirroring CrcWriter. */
+class CrcReader
+{
+  public:
+    explicit CrcReader(std::FILE *f) : f_(f) {}
+
+    bool
+    read(void *data, std::size_t len)
+    {
+        if (std::fread(data, 1, len, f_) != len)
+            return false;
+        crc_ = crc32(data, len, crc_);
+        return true;
+    }
+
+    template <typename T>
+    bool
+    readPod(T &value)
+    {
+        return read(&value, sizeof(T));
+    }
+
+    /** Read the stored CRC and compare with the running one. */
+    bool
+    checkCrc()
+    {
+        std::uint32_t stored;
+        if (std::fread(&stored, 1, sizeof(stored), f_) !=
+            sizeof(stored)) {
+            return false;
+        }
+        const bool ok = stored == crc_;
+        crc_ = 0;
+        return ok;
+    }
+
+  private:
+    std::FILE *f_;
+    std::uint32_t crc_ = 0;
+};
+
+bool
+writeTensor(CrcWriter &w, const Tensor &t)
+{
+    const std::uint32_t ndim = static_cast<std::uint32_t>(t.ndim());
+    if (!w.writePod(ndim))
+        return false;
+    for (std::size_t d = 0; d < t.ndim(); ++d) {
+        const std::uint64_t dim = t.dim(d);
+        if (!w.writePod(dim))
+            return false;
+    }
+    if (!w.write(t.data(), t.numel() * sizeof(float)))
+        return false;
+    return w.writeCrc();
+}
+
+bool
+readTensor(CrcReader &r, Tensor &out)
+{
+    std::uint32_t ndim;
+    if (!r.readPod(ndim) || ndim > kMaxNdim)
+        return false;
+    Shape shape(ndim);
+    std::uint64_t numel = 1;
+    for (auto &d : shape) {
+        std::uint64_t dim;
+        if (!r.readPod(dim))
+            return false;
+        d = static_cast<std::size_t>(dim);
+        // Guard the product against overflow before multiplying.
+        if (dim != 0 && numel > kMaxNumel / dim)
+            return false;
+        numel *= dim;
+    }
+    Tensor t(shape);
+    if (t.numel() > kMaxNumel)
+        return false;
+    if (!r.read(t.data(), t.numel() * sizeof(float)))
+        return false;
+    if (!r.checkCrc())
+        return false;
+    out = std::move(t);
+    return true;
+}
+
+bool
+writeBody(CrcWriter &w, const TrainerSnapshot &snap)
+{
+    if (!w.write(kMagic, sizeof(kMagic)))
+        return false;
+    if (!w.writePod(snap.step) || !w.writePod(snap.optimizerStep))
+        return false;
+    const std::uint8_t has_rng = snap.hasRngState ? 1 : 0;
+    if (!w.writePod(has_rng))
+        return false;
+    for (std::uint64_t s : snap.rngState.s)
+        if (!w.writePod(s))
+            return false;
+    const std::uint8_t has_cached = snap.rngState.hasCached ? 1 : 0;
+    if (!w.writePod(has_cached))
+        return false;
+    std::uint64_t cached_bits;
+    std::memcpy(&cached_bits, &snap.rngState.cached,
+                sizeof(cached_bits));
+    if (!w.writePod(cached_bits))
+        return false;
+    const std::uint64_t params =
+        static_cast<std::uint64_t>(snap.masters.size());
+    if (!w.writePod(params))
+        return false;
+    if (!w.writeCrc())
+        return false;
+
+    for (const auto *group : {&snap.masters, &snap.m, &snap.v})
+        for (const Tensor &t : *group)
+            if (!writeTensor(w, t))
+                return false;
+    return true;
+}
+
+} // namespace
+
+const char *
+checkpointLoadResultName(CheckpointLoadResult result)
+{
+    switch (result) {
+      case CheckpointLoadResult::Ok:      return "ok";
+      case CheckpointLoadResult::Missing: return "missing";
+      case CheckpointLoadResult::Corrupt: return "corrupt";
+    }
+    return "?";
+}
+
+bool
+writeCheckpoint(const std::string &path, const TrainerSnapshot &snap)
+{
+    CQ_ASSERT_MSG(snap.m.size() == snap.masters.size() &&
+                      snap.v.size() == snap.masters.size(),
+                  "snapshot group sizes differ: masters=%zu m=%zu v=%zu",
+                  snap.masters.size(), snap.m.size(), snap.v.size());
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        warn("checkpoint: cannot open %s for writing", tmp.c_str());
+        return false;
+    }
+    CrcWriter w(f);
+    const bool ok = writeBody(w, snap);
+    const bool closed = std::fclose(f) == 0;
+    if (!ok || !closed) {
+        warn("checkpoint: write to %s failed", tmp.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("checkpoint: rename %s -> %s failed", tmp.c_str(),
+             path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+CheckpointLoadResult
+readCheckpoint(const std::string &path, TrainerSnapshot &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return CheckpointLoadResult::Missing;
+    CrcReader r(f);
+    const auto corrupt = [&] {
+        std::fclose(f);
+        return CheckpointLoadResult::Corrupt;
+    };
+
+    char magic[8];
+    if (!r.read(magic, sizeof(magic)) ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        return corrupt();
+    }
+    if (!r.readPod(out.step) || !r.readPod(out.optimizerStep))
+        return corrupt();
+    std::uint8_t has_rng;
+    if (!r.readPod(has_rng) || has_rng > 1)
+        return corrupt();
+    out.hasRngState = has_rng == 1;
+    for (auto &s : out.rngState.s)
+        if (!r.readPod(s))
+            return corrupt();
+    std::uint8_t has_cached;
+    if (!r.readPod(has_cached) || has_cached > 1)
+        return corrupt();
+    out.rngState.hasCached = has_cached == 1;
+    std::uint64_t cached_bits;
+    if (!r.readPod(cached_bits))
+        return corrupt();
+    std::memcpy(&out.rngState.cached, &cached_bits,
+                sizeof(cached_bits));
+    std::uint64_t params;
+    if (!r.readPod(params) || params > kMaxParams)
+        return corrupt();
+    if (!r.checkCrc())
+        return corrupt();
+
+    out.masters.assign(static_cast<std::size_t>(params), Tensor{});
+    out.m.assign(static_cast<std::size_t>(params), Tensor{});
+    out.v.assign(static_cast<std::size_t>(params), Tensor{});
+    for (auto *group : {&out.masters, &out.m, &out.v})
+        for (Tensor &t : *group)
+            if (!readTensor(r, t))
+                return corrupt();
+
+    // Trailing garbage means the file is not the record we wrote.
+    char extra;
+    if (std::fread(&extra, 1, 1, f) != 0)
+        return corrupt();
+    std::fclose(f);
+    return CheckpointLoadResult::Ok;
+}
+
+} // namespace cq::nn::guard

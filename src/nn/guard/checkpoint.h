@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Trainer checkpoints with corruption detection.
+ *
+ * Serializes the state a quantized training run needs to resume after
+ * a fault: the FP32 master weights (the NDP engine's DRAM rows), the
+ * optimizer's m/v moments, the step counters, and optionally an Rng
+ * stream (so a data pipeline resumes bit-exactly). The on-disk format
+ * is a little-endian binary record with a magic/version header and a
+ * CRC-32 per tensor plus one over the header fields; readers classify
+ * a file as Ok / Missing / Corrupt and never resume from a snapshot
+ * whose checksums disagree.
+ *
+ * Writes go to "<path>.tmp" and are published with an atomic
+ * std::rename, so a crash mid-write leaves the previous good snapshot
+ * in place rather than a truncated file.
+ */
+
+#ifndef CQ_NN_GUARD_CHECKPOINT_H
+#define CQ_NN_GUARD_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace cq::nn::guard {
+
+/** Everything a QuantTrainer needs to roll back to a known-good step. */
+struct TrainerSnapshot
+{
+    /** Trainer step at which the snapshot was taken. */
+    std::uint64_t step = 0;
+    /** Optimizer update count (drives Adam bias correction). */
+    std::uint64_t optimizerStep = 0;
+    /** Optional captured Rng stream (e.g. the data pipeline's). */
+    bool hasRngState = false;
+    Rng::State rngState;
+    /** FP32 master weights, one tensor per parameter. */
+    std::vector<Tensor> masters;
+    /** Optimizer first / second moments, parallel to masters. */
+    std::vector<Tensor> m;
+    std::vector<Tensor> v;
+};
+
+/** Outcome of reading a checkpoint file. */
+enum class CheckpointLoadResult
+{
+    Ok,
+    /** No file at the path (no snapshot was ever written). */
+    Missing,
+    /** File exists but is truncated, malformed, or fails a CRC. */
+    Corrupt,
+};
+
+const char *checkpointLoadResultName(CheckpointLoadResult result);
+
+/**
+ * Write @p snap to @p path (atomic rename-on-write). Returns false on
+ * I/O failure (the previous snapshot, if any, is left untouched).
+ */
+bool writeCheckpoint(const std::string &path,
+                     const TrainerSnapshot &snap);
+
+/**
+ * Read a snapshot from @p path into @p out. On anything but Ok,
+ * @p out is left in an unspecified but valid state and must not be
+ * used for a rollback.
+ */
+CheckpointLoadResult readCheckpoint(const std::string &path,
+                                    TrainerSnapshot &out);
+
+} // namespace cq::nn::guard
+
+#endif // CQ_NN_GUARD_CHECKPOINT_H

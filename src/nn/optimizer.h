@@ -91,6 +91,13 @@ class Optimizer
     const OptimizerConfig &config() const { return config_; }
     std::size_t stepCount() const { return step_; }
 
+    /**
+     * Restore the update counter (with the matching m/v state) when
+     * rolling back to a checkpoint; the counter drives Adam's exact
+     * bias correction, so it must travel with the moments.
+     */
+    void setStepCount(std::size_t step) { step_ = step; }
+
     /** Direct access to the optimizer state for tests / NDP checks. */
     Tensor &stateM(std::size_t param_idx) { return m_[param_idx]; }
     Tensor &stateV(std::size_t param_idx) { return v_[param_idx]; }

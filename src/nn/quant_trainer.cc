@@ -21,6 +21,21 @@ QuantTrainer::QuantTrainer(Network &network, QuantTrainerConfig config)
     masters_.reserve(params_.size());
     for (Param *p : params_)
         masters_.push_back(p->value);
+    // params_ flattens layers in order; rebuild the same walk to tag
+    // every parameter with its owning layer (the breaker granularity).
+    layerOfParam_.reserve(params_.size());
+    for (std::size_t li = 0; li < network_.size(); ++li)
+        for (std::size_t k = 0;
+             k < network_.layer(li).params().size(); ++k)
+            layerOfParam_.push_back(li);
+    CQ_ASSERT_MSG(layerOfParam_.size() == params_.size(),
+                  "param/layer walk mismatch: %zu vs %zu",
+                  layerOfParam_.size(), params_.size());
+
+    if (config_.resilience.enabled) {
+        monitor_ = std::make_unique<guard::HealthMonitor>(
+            config_.resilience.guardrails, network_.size());
+    }
 }
 
 void
@@ -30,9 +45,20 @@ QuantTrainer::loadQuantizedWeights()
     for (std::size_t i = 0; i < params_.size(); ++i) {
         // Masters hold the authoritative FP32 weights (DRAM side);
         // the network computes on the quantized copies the SQU would
-        // produce while streaming weights into SB.
-        params_[i]->value = quant::applyPolicy(
-            masters_[i], config_.algorithm, TensorRole::Weight);
+        // produce while streaming weights into SB. A layer whose
+        // circuit breaker is open gets the FP32 masters verbatim.
+        const bool bypass =
+            monitor_ != nullptr &&
+            monitor_->breakers().open(layerOfParam_[i]);
+        params_[i]->value =
+            bypass ? masters_[i]
+                   : quant::applyPolicy(masters_[i], config_.algorithm,
+                                        TensorRole::Weight);
+        if (faults_ != nullptr) {
+            faults_->maybeCorrupt(params_[i]->value.data(),
+                                  params_[i]->value.numel(),
+                                  sim::FaultSite::ComputeWeights);
+        }
     }
 }
 
@@ -47,9 +73,22 @@ Tensor
 QuantTrainer::forwardQuantized(const Tensor &inputs)
 {
     using quant::TensorRole;
+    const bool quantizes =
+        config_.algorithm.policyFor(TensorRole::Activation).quantize;
+    const bool scans =
+        monitor_ != nullptr && monitor_->config().scanActivations;
     Network::TensorHook hook;
-    if (config_.algorithm.policyFor(TensorRole::Activation).quantize) {
-        hook = [this](const Tensor &x, std::size_t) {
+    if (quantizes || scans) {
+        hook = [this, quantizes, scans](const Tensor &x,
+                                        std::size_t li) {
+            if (scans &&
+                monitor_->checkTensor(x, "activation", li)) {
+                stepHealthy_ = false;
+                monitor_->tripLayer(li);
+            }
+            if (!quantizes ||
+                (monitor_ != nullptr && monitor_->breakers().open(li)))
+                return x;
             return quant::applyPolicy(x, config_.algorithm,
                                       quant::TensorRole::Activation);
         };
@@ -61,35 +100,211 @@ void
 QuantTrainer::backwardQuantized(const Tensor &grad)
 {
     using quant::TensorRole;
-    Network::TensorHook hook = [this](const Tensor &g, std::size_t li) {
+    const bool quantizes =
+        config_.algorithm.policyFor(TensorRole::NeuronGradient)
+            .quantize;
+    const bool scans =
+        monitor_ != nullptr && monitor_->config().scanGradients;
+    Network::TensorHook hook = [this, quantizes, scans](
+                                   const Tensor &g, std::size_t li) {
         if (config_.recordGradientStats) {
             gradientRecords_.push_back(
                 GradientRecord{step_, li, g.maxAbs()});
         }
+        if (scans &&
+            monitor_->checkTensor(g, "neuronGradient", li)) {
+            stepHealthy_ = false;
+            monitor_->tripLayer(li);
+        }
+        if (!quantizes ||
+            (monitor_ != nullptr && monitor_->breakers().open(li)))
+            return g;
         return quant::applyPolicy(g, config_.algorithm,
                                   quant::TensorRole::NeuronGradient);
     };
     network_.backward(grad, hook);
 }
 
+void
+QuantTrainer::beginStep()
+{
+    ++step_;
+    stepHealthy_ = true;
+    lastStepDiscarded_ = false;
+    network_.zeroGrads();
+    if (faults_ != nullptr) {
+        // Upsets that struck the DRAM-resident master rows since the
+        // previous step become visible before anything reads them.
+        for (Tensor &master : masters_)
+            faults_->maybeCorrupt(master.data(), master.numel(),
+                                  sim::FaultSite::MasterWeights);
+    }
+    if (monitor_ != nullptr) {
+        for (std::size_t i = 0; i < params_.size(); ++i) {
+            if (monitor_->checkTensor(masters_[i], "masterWeights",
+                                      layerOfParam_[i])) {
+                stepHealthy_ = false;
+                monitor_->tripLayer(layerOfParam_[i]);
+            }
+        }
+    }
+    loadQuantizedWeights();
+}
+
+double
+QuantTrainer::finishStep(double loss)
+{
+    restoreMasterWeights();
+    if (faults_ != nullptr) {
+        // The WGSTORE gradient stream crosses the DDR bus; corrupt it
+        // after backward and before the optimizer consumes it.
+        for (Param *p : params_)
+            faults_->maybeCorrupt(p->grad.data(), p->grad.numel(),
+                                  sim::FaultSite::Gradients);
+    }
+    bool watchdog_tripped = false;
+    if (monitor_ != nullptr) {
+        if (monitor_->config().scanGradients) {
+            for (std::size_t i = 0; i < params_.size(); ++i) {
+                if (monitor_->checkTensor(params_[i]->grad,
+                                          "weightGradient",
+                                          layerOfParam_[i])) {
+                    stepHealthy_ = false;
+                    monitor_->tripLayer(layerOfParam_[i]);
+                }
+            }
+        }
+        if (monitor_->observeLoss(loss)) {
+            stepHealthy_ = false;
+            watchdog_tripped = true;
+        }
+    }
+
+    if (monitor_ == nullptr || stepHealthy_) {
+        // Weight gradients stay FP32 (every algorithm's "special
+        // case"); the optimizer updates the masters, which is the
+        // computation the NDP engine performs in place.
+        optimizer_.step();
+        for (std::size_t i = 0; i < params_.size(); ++i)
+            masters_[i] = params_[i]->value;
+        if (monitor_ != nullptr)
+            monitor_->breakers().countDown();
+        maybeCheckpoint();
+    } else {
+        // Discard the poisoned step: no optimizer update, degrade the
+        // quantization path, and recover state from the last good
+        // snapshot when one exists.
+        lastStepDiscarded_ = true;
+        monitor_->stats().add("guard.discardedSteps", 1.0);
+        if (watchdog_tripped)
+            monitor_->tripAllLayers();
+        rollback();
+    }
+    return loss;
+}
+
+void
+QuantTrainer::maybeCheckpoint()
+{
+    const ResilienceConfig &r = config_.resilience;
+    if (r.checkpointPath.empty() || r.checkpointInterval == 0)
+        return;
+    if (step_ == 1 || step_ % r.checkpointInterval == 0)
+        checkpointNow();
+}
+
+bool
+QuantTrainer::checkpointNow()
+{
+    const ResilienceConfig &r = config_.resilience;
+    CQ_ASSERT_MSG(!r.checkpointPath.empty(),
+                  "checkpointNow without a checkpoint path");
+    guard::TrainerSnapshot snap;
+    snap.step = step_;
+    snap.optimizerStep = optimizer_.stepCount();
+    if (r.dataRng != nullptr) {
+        snap.hasRngState = true;
+        snap.rngState = r.dataRng->state();
+    }
+    snap.masters = masters_;
+    snap.m.reserve(params_.size());
+    snap.v.reserve(params_.size());
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        snap.m.push_back(optimizer_.stateM(i));
+        snap.v.push_back(optimizer_.stateV(i));
+    }
+    const bool ok = guard::writeCheckpoint(r.checkpointPath, snap);
+    if (monitor_ != nullptr)
+        monitor_->stats().add(ok ? "guard.checkpointsWritten"
+                                 : "guard.checkpointFailures",
+                              1.0);
+    return ok;
+}
+
+void
+QuantTrainer::rollback()
+{
+    const ResilienceConfig &r = config_.resilience;
+    if (r.checkpointPath.empty())
+        return;
+    guard::TrainerSnapshot snap;
+    const auto result = guard::readCheckpoint(r.checkpointPath, snap);
+    if (result != guard::CheckpointLoadResult::Ok) {
+        warn("rollback: checkpoint %s unusable (%s)",
+             r.checkpointPath.c_str(),
+             guard::checkpointLoadResultName(result));
+        monitor_->stats().add("guard.rollbackFailures", 1.0);
+        return;
+    }
+    if (snap.masters.size() != params_.size()) {
+        warn("rollback: checkpoint has %zu params, trainer has %zu",
+             snap.masters.size(), params_.size());
+        monitor_->stats().add("guard.rollbackFailures", 1.0);
+        return;
+    }
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        CQ_ASSERT_MSG(snap.masters[i].shape() ==
+                          params_[i]->value.shape(),
+                      "rollback: param %zu shape %s != checkpoint %s",
+                      i,
+                      shapeToString(params_[i]->value.shape()).c_str(),
+                      shapeToString(snap.masters[i].shape()).c_str());
+        masters_[i] = snap.masters[i];
+        params_[i]->value = masters_[i];
+        optimizer_.stateM(i) = snap.m[i];
+        optimizer_.stateV(i) = snap.v[i];
+    }
+    optimizer_.setStepCount(
+        static_cast<std::size_t>(snap.optimizerStep));
+    if (snap.hasRngState && r.dataRng != nullptr)
+        r.dataRng->setState(snap.rngState);
+    ++rollbacks_;
+    monitor_->stats().add("guard.rollbacks", 1.0);
+    inform("rollback: restored step-%llu checkpoint after a guard "
+           "trip at step %zu",
+           static_cast<unsigned long long>(snap.step), step_);
+}
+
+StatGroup
+QuantTrainer::resilienceStats() const
+{
+    StatGroup out;
+    if (monitor_ != nullptr)
+        out.merge(monitor_->stats());
+    if (faults_ != nullptr)
+        out.merge(faults_->stats());
+    return out;
+}
+
 double
 QuantTrainer::stepClassification(const Tensor &inputs,
                                  const std::vector<int> &labels)
 {
-    ++step_;
-    network_.zeroGrads();
-    loadQuantizedWeights();
+    beginStep();
     const Tensor logits = forwardQuantized(inputs);
     const double loss = lossHead_.loss(logits, labels);
     backwardQuantized(lossHead_.grad());
-    restoreMasterWeights();
-    // Weight gradients stay FP32 (every algorithm's "special case");
-    // the optimizer updates the masters, which is the computation the
-    // NDP engine performs in place.
-    optimizer_.step();
-    for (std::size_t i = 0; i < params_.size(); ++i)
-        masters_[i] = params_[i]->value;
-    return loss;
+    return finishStep(loss);
 }
 
 double
@@ -97,9 +312,7 @@ QuantTrainer::stepLanguageModel(const Tensor &inputs,
                                 const std::vector<int> &targets,
                                 std::size_t vocab)
 {
-    ++step_;
-    network_.zeroGrads();
-    loadQuantizedWeights();
+    beginStep();
     Tensor logits = forwardQuantized(inputs);
     const Shape out_shape = logits.shape();
     logits.reshape({logits.numel() / vocab, vocab});
@@ -108,11 +321,7 @@ QuantTrainer::stepLanguageModel(const Tensor &inputs,
     // Hand the gradient back in the network's native output shape.
     grad.reshape(out_shape);
     backwardQuantized(grad);
-    restoreMasterWeights();
-    optimizer_.step();
-    for (std::size_t i = 0; i < params_.size(); ++i)
-        masters_[i] = params_[i]->value;
-    return loss;
+    return finishStep(loss);
 }
 
 double

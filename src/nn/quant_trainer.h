@@ -9,17 +9,31 @@
  * master weights (the state the NDP engine keeps in DRAM). The
  * quantization recipes come from quant::AlgorithmConfig, so the same
  * trainer runs FP32, Zhu, Zhang, and both +HQT variants.
+ *
+ * The trainer can additionally run under the resilience subsystem
+ * (DESIGN.md §5): a sim::FaultInjector corrupts the simulated memory
+ * images (master weights, compute copies, gradient buffers) each step,
+ * a guard::HealthMonitor scans tensors and the loss for numerical
+ * ill-health, and CRC-protected checkpoints let a tripped run roll
+ * back to the last known-good state instead of diverging. A tripped
+ * layer's quantization circuit breaker falls back to the FP32 path for
+ * a cooldown before re-arming.
  */
 
 #ifndef CQ_NN_QUANT_TRAINER_H
 #define CQ_NN_QUANT_TRAINER_H
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "nn/guard/checkpoint.h"
+#include "nn/guard/guardrails.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
 #include "nn/softmax.h"
 #include "quant/policy.h"
+#include "sim/faults/fault_injector.h"
 
 namespace cq::nn {
 
@@ -31,6 +45,24 @@ struct GradientRecord
     double maxAbs = 0.0;
 };
 
+/** Resilience: guardrails + checkpoint/rollback policy. */
+struct ResilienceConfig
+{
+    /** False keeps the legacy trainer behaviour (no monitoring). */
+    bool enabled = false;
+    guard::GuardrailConfig guardrails;
+    /** Checkpoint file; empty disables checkpointing and rollback. */
+    std::string checkpointPath;
+    /** Healthy-step interval between checkpoints. */
+    std::size_t checkpointInterval = 25;
+    /**
+     * Optional data-pipeline Rng (not owned). Its state is captured
+     * in checkpoints and restored on rollback so the resumed run
+     * replays the stream from the snapshot point.
+     */
+    Rng *dataRng = nullptr;
+};
+
 /** Trainer configuration. */
 struct QuantTrainerConfig
 {
@@ -38,6 +70,7 @@ struct QuantTrainerConfig
     OptimizerConfig optimizer;
     /** Collect per-layer gradient max-abs records when true. */
     bool recordGradientStats = false;
+    ResilienceConfig resilience;
 };
 
 /**
@@ -87,7 +120,44 @@ class QuantTrainer
         return config_.algorithm;
     }
 
+    /** @name Resilience */
+    /** @{ */
+    /**
+     * Attach (or detach with nullptr) a fault injector. Injection
+     * passes run serially on the calling thread each step, so the
+     * fault pattern for a fixed seed is bitwise identical at any
+     * CQ_THREADS setting.
+     */
+    void setFaultInjector(sim::FaultInjector *injector)
+    {
+        faults_ = injector;
+    }
+
+    /** Health monitor; nullptr when resilience is disabled. */
+    guard::HealthMonitor *monitor() { return monitor_.get(); }
+
+    /** True when the most recent step tripped a guard and its update
+     *  was discarded. */
+    bool lastStepDiscarded() const { return lastStepDiscarded_; }
+
+    /** Rollbacks performed since construction. */
+    std::size_t rollbackCount() const { return rollbacks_; }
+
+    /** Write a checkpoint of the current state immediately. */
+    bool checkpointNow();
+
+    /**
+     * Merged guard.* / faults.* counters (monitor plus any attached
+     * injector) for benches and tests.
+     */
+    StatGroup resilienceStats() const;
+    /** @} */
+
   private:
+    /** Begin a step: fault injection + master scan + weight load. */
+    void beginStep();
+    /** Finish a step: gradient guards, watchdog, update-or-rollback. */
+    double finishStep(double loss);
     /** Swap quantized weights into the network (masters saved). */
     void loadQuantizedWeights();
     /** Restore master weights (keeping accumulated gradients). */
@@ -96,15 +166,27 @@ class QuantTrainer
     Tensor forwardQuantized(const Tensor &inputs);
     /** Backward with neuron-gradient quantization hook + stats. */
     void backwardQuantized(const Tensor &grad);
+    /** Checkpoint when the interval policy says so. */
+    void maybeCheckpoint();
+    /** Roll back to the last good checkpoint, if one exists. */
+    void rollback();
 
     Network &network_;
     QuantTrainerConfig config_;
     Optimizer optimizer_;
     std::vector<Tensor> masters_;
     std::vector<Param *> params_;
+    /** Layer index owning each entry of params_. */
+    std::vector<std::size_t> layerOfParam_;
     SoftmaxCrossEntropy lossHead_;
     std::vector<GradientRecord> gradientRecords_;
     std::size_t step_ = 0;
+
+    std::unique_ptr<guard::HealthMonitor> monitor_;
+    sim::FaultInjector *faults_ = nullptr;
+    bool stepHealthy_ = true;
+    bool lastStepDiscarded_ = false;
+    std::size_t rollbacks_ = 0;
 };
 
 } // namespace cq::nn

@@ -108,10 +108,14 @@ accumulate(Tensor &a, const Tensor &b, float s)
 Tensor
 matmul(const Tensor &a, const Tensor &b)
 {
-    CQ_ASSERT(a.ndim() == 2 && b.ndim() == 2);
+    CQ_ASSERT_MSG(a.ndim() == 2 && b.ndim() == 2,
+                  "matmul: expects rank-2 operands, got %s x %s",
+                  shapeToString(a.shape()).c_str(),
+                  shapeToString(b.shape()).c_str());
     const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
-    CQ_ASSERT_MSG(b.dim(0) == k, "matmul: inner dims %zu vs %zu",
-                  k, b.dim(0));
+    CQ_ASSERT_MSG(b.dim(0) == k, "matmul: inner dims disagree, %s x %s",
+                  shapeToString(a.shape()).c_str(),
+                  shapeToString(b.shape()).c_str());
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -138,9 +142,15 @@ matmul(const Tensor &a, const Tensor &b)
 Tensor
 matmulTransA(const Tensor &a, const Tensor &b)
 {
-    CQ_ASSERT(a.ndim() == 2 && b.ndim() == 2);
+    CQ_ASSERT_MSG(a.ndim() == 2 && b.ndim() == 2,
+                  "matmulTransA: expects rank-2 operands, got %s x %s",
+                  shapeToString(a.shape()).c_str(),
+                  shapeToString(b.shape()).c_str());
     const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
-    CQ_ASSERT(b.dim(0) == k);
+    CQ_ASSERT_MSG(b.dim(0) == k,
+                  "matmulTransA: A^T rows %zu != B rows %zu (%s^T x %s)",
+                  k, b.dim(0), shapeToString(a.shape()).c_str(),
+                  shapeToString(b.shape()).c_str());
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -167,9 +177,15 @@ matmulTransA(const Tensor &a, const Tensor &b)
 Tensor
 matmulTransB(const Tensor &a, const Tensor &b)
 {
-    CQ_ASSERT(a.ndim() == 2 && b.ndim() == 2);
+    CQ_ASSERT_MSG(a.ndim() == 2 && b.ndim() == 2,
+                  "matmulTransB: expects rank-2 operands, got %s x %s",
+                  shapeToString(a.shape()).c_str(),
+                  shapeToString(b.shape()).c_str());
     const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
-    CQ_ASSERT(b.dim(1) == k);
+    CQ_ASSERT_MSG(b.dim(1) == k,
+                  "matmulTransB: A cols %zu != B^T rows %zu (%s x %s^T)",
+                  k, b.dim(1), shapeToString(a.shape()).c_str(),
+                  shapeToString(b.shape()).c_str());
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -192,7 +208,8 @@ matmulTransB(const Tensor &a, const Tensor &b)
 Tensor
 transpose(const Tensor &a)
 {
-    CQ_ASSERT(a.ndim() == 2);
+    CQ_ASSERT_MSG(a.ndim() == 2, "transpose: expects rank 2, got %s",
+                  shapeToString(a.shape()).c_str());
     const std::size_t m = a.dim(0), n = a.dim(1);
     Tensor c({n, m});
     for (std::size_t i = 0; i < m; ++i)
@@ -204,24 +221,31 @@ transpose(const Tensor &a)
 std::size_t
 Conv2dGeometry::outH(std::size_t h) const
 {
-    CQ_ASSERT(h + 2 * pad >= kernelH);
+    CQ_ASSERT_MSG(h + 2 * pad >= kernelH,
+                  "conv geometry: height %zu + 2*pad %zu < kernelH %zu",
+                  h, pad, kernelH);
     return (h + 2 * pad - kernelH) / stride + 1;
 }
 
 std::size_t
 Conv2dGeometry::outW(std::size_t w) const
 {
-    CQ_ASSERT(w + 2 * pad >= kernelW);
+    CQ_ASSERT_MSG(w + 2 * pad >= kernelW,
+                  "conv geometry: width %zu + 2*pad %zu < kernelW %zu",
+                  w, pad, kernelW);
     return (w + 2 * pad - kernelW) / stride + 1;
 }
 
 Tensor
 im2col(const Tensor &input, const Conv2dGeometry &g)
 {
-    CQ_ASSERT(input.ndim() == 4);
+    CQ_ASSERT_MSG(input.ndim() == 4, "im2col: expects NCHW, got %s",
+                  shapeToString(input.shape()).c_str());
     const std::size_t n = input.dim(0), c = input.dim(1);
     const std::size_t h = input.dim(2), w = input.dim(3);
-    CQ_ASSERT(c == g.inChannels);
+    CQ_ASSERT_MSG(c == g.inChannels,
+                  "im2col: input %s has %zu channels, geometry wants %zu",
+                  shapeToString(input.shape()).c_str(), c, g.inChannels);
     const std::size_t p = g.outH(h), q = g.outW(w);
     const std::size_t patch = c * g.kernelH * g.kernelW;
 
@@ -267,13 +291,18 @@ im2col(const Tensor &input, const Conv2dGeometry &g)
 Tensor
 col2im(const Tensor &cols, const Shape &inputShape, const Conv2dGeometry &g)
 {
-    CQ_ASSERT(inputShape.size() == 4);
+    CQ_ASSERT_MSG(inputShape.size() == 4, "col2im: expects NCHW, got %s",
+                  shapeToString(inputShape).c_str());
     const std::size_t n = inputShape[0], c = inputShape[1];
     const std::size_t h = inputShape[2], w = inputShape[3];
     const std::size_t p = g.outH(h), q = g.outW(w);
     const std::size_t patch = c * g.kernelH * g.kernelW;
-    CQ_ASSERT(cols.ndim() == 2 && cols.dim(0) == n * p * q &&
-              cols.dim(1) == patch);
+    CQ_ASSERT_MSG(cols.ndim() == 2 && cols.dim(0) == n * p * q &&
+                      cols.dim(1) == patch,
+                  "col2im: cols %s incompatible with input %s "
+                  "(want [%zu, %zu])",
+                  shapeToString(cols.shape()).c_str(),
+                  shapeToString(inputShape).c_str(), n * p * q, patch);
 
     Tensor out(inputShape);
     const float *in = cols.data();

@@ -7,7 +7,9 @@
 
 #include <vector>
 
+#include "arch/ndp_engine.h"
 #include "dram/dram_controller.h"
+#include "nn/optimizer.h"
 #include "sim/event_queue.h"
 
 namespace cq {
@@ -243,6 +245,72 @@ TEST(Dram, RefreshDisableRestoresThroughput)
     // Overhead roughly tRFC / tREFI (~7%).
     EXPECT_LT(static_cast<double>(t_with),
               1.12 * static_cast<double>(t_without));
+}
+
+// ------------------------------------------------------------ error paths
+
+TEST(DramDeath, TransferBeyondCapacityPanics)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    const Bytes capacity = ctrl.config().capacityBytes;
+    EXPECT_DEATH(ctrl.transfer(0, capacity, 64, false),
+                 "exceeds DRAM capacity");
+    // A range that starts in bounds but runs off the end must also die
+    // (guards the overflow-safe form of the check).
+    EXPECT_DEATH(ctrl.transfer(0, capacity - 32, 64, false),
+                 "exceeds DRAM capacity");
+}
+
+TEST(DramDeath, ZeroByteTransferPanics)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    EXPECT_DEATH(ctrl.transfer(0, 0, 0, false), "zero-byte read");
+    EXPECT_DEATH(ctrl.transfer(0, 64, 0, true), "zero-byte write");
+}
+
+TEST(DramDeath, NdpUpdateErrorPaths)
+{
+    dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+    EXPECT_DEATH(ctrl.ndpUpdate(0, 0, 0, 4), "zero-element NDP update");
+    EXPECT_DEATH(ctrl.ndpUpdate(0, 0, 16, 0), "outside \\(0, rowBytes");
+    EXPECT_DEATH(ctrl.ndpUpdate(0, 0, 16, ctrl.config().rowBytes + 1),
+                 "outside \\(0, rowBytes");
+    const Bytes capacity = ctrl.config().capacityBytes;
+    EXPECT_DEATH(ctrl.ndpUpdate(0, capacity - 64, 512, 4),
+                 "exceeds DRAM capacity");
+}
+
+TEST(Dram, InRangeEdgesAccepted)
+{
+    // The last addressable bytes of the last channel must be usable:
+    // the codegen places tensors at region bases (r << 32), so an
+    // off-by-one in the capacity check would fire on real programs.
+    dram::DramConfig cfg = dram::DramConfig::lpddr4_2133();
+    dram::DramController ctrl(cfg);
+    const Bytes capacity =
+        cfg.capacityBytes * static_cast<Bytes>(cfg.channels);
+    EXPECT_GT(ctrl.transfer(0, capacity - 64, 64, false), 0u);
+    EXPECT_GT(ctrl.ndpUpdate(0, capacity - 512 * 4, 512, 4), 0u);
+}
+
+TEST(NdpEngineDeath, WgstoreBeforeCrosetPanics)
+{
+    arch::NdpEngine ndp;
+    std::vector<float> w(4), m(4), v(4), g(4);
+    EXPECT_DEATH(ndp.weightGradientStore(w, m, v, g),
+                 "WGSTORE before CROSET");
+}
+
+TEST(NdpEngineDeath, MismatchedRowSizesPanic)
+{
+    arch::NdpEngine ndp;
+    ndp.configure(nn::NdpoConstants::fromConfig(nn::OptimizerConfig{}));
+    std::vector<float> w(4), m(4), v(4), g(3);
+    EXPECT_DEATH(ndp.weightGradientStore(w, m, v, g),
+                 "w/m/v/g row sizes differ: w=4 m=4 v=4 g=3");
+    std::vector<float> m_short(2), g4(4);
+    EXPECT_DEATH(ndp.weightGradientStore(w, m_short, v, g4),
+                 "w/m/v/g row sizes differ");
 }
 
 TEST(Dram, RefreshClosesOpenRows)

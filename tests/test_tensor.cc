@@ -210,5 +210,47 @@ TEST(TensorOps, CosineSimilarityIdentical)
     EXPECT_NEAR(cosineSimilarity(a, scale(a, -2.0f)), -1.0, 1e-9);
 }
 
+// ------------------------------------------------- shape-check panics
+
+TEST(TensorOpsDeath, ElementwiseShapeMismatchNamesBothShapes)
+{
+    Tensor a({2, 3}), b({3, 2});
+    EXPECT_DEATH(add(a, b), "add: shape mismatch \\[2, 3\\] vs \\[3, 2\\]");
+    EXPECT_DEATH(accumulate(a, b, 1.0f), "accumulate: shape mismatch");
+}
+
+TEST(TensorOpsDeath, MatmulShapeMismatchNamesBothShapes)
+{
+    Tensor a({4, 5}), b({6, 7});
+    EXPECT_DEATH(matmul(a, b),
+                 "matmul: inner dims disagree, \\[4, 5\\] x \\[6, 7\\]");
+    Tensor v({5});
+    EXPECT_DEATH(matmul(v, b), "matmul: expects rank-2 operands");
+    EXPECT_DEATH(matmulTransA(a, b), "matmulTransA: A\\^T rows 4 != B rows 6");
+    EXPECT_DEATH(matmulTransB(a, b), "matmulTransB: A cols 5 != B\\^T rows 7");
+}
+
+TEST(TensorOpsDeath, TransposeAndConvShapeChecks)
+{
+    Tensor v({6});
+    EXPECT_DEATH(transpose(v), "transpose: expects rank 2, got \\[6\\]");
+
+    Conv2dGeometry g;
+    g.inChannels = 3;
+    g.outChannels = 4;
+    g.kernelH = g.kernelW = 3;
+    g.stride = 1;
+    g.pad = 1;
+    Tensor notNchw({2, 3, 8});
+    EXPECT_DEATH(im2col(notNchw, g), "im2col: expects NCHW");
+    Tensor wrongChannels({1, 2, 8, 8});
+    EXPECT_DEATH(im2col(wrongChannels, g),
+                 "has 2 channels, geometry wants 3");
+    Tensor cols({5, 5});
+    EXPECT_DEATH(col2im(cols, {1, 3, 8, 8}, g),
+                 "col2im: cols \\[5, 5\\] incompatible with input "
+                 "\\[1, 3, 8, 8\\]");
+}
+
 } // namespace
 } // namespace cq

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -118,6 +119,68 @@ TEST(ThreadPool, PropagatesExceptions)
                             throw std::runtime_error("chunk failed");
                     }),
         std::runtime_error);
+    pool.setNumThreads(0);
+}
+
+TEST(ThreadPool, PropagatesWorkerLaneExceptions)
+{
+    // Throw only from a chunk that a worker (not the caller, which
+    // owns chunk 0) executes: the error must still cross threads.
+    auto &pool = ThreadPool::instance();
+    pool.setNumThreads(4);
+    EXPECT_THROW(
+        parallelFor(0, 1000, 1,
+                    [&](std::size_t lo, std::size_t) {
+                        if (lo != 0)
+                            throw std::runtime_error("worker lane");
+                    }),
+        std::runtime_error);
+    pool.setNumThreads(0);
+}
+
+TEST(ThreadPool, LowestChunkExceptionWinsDeterministically)
+{
+    // Every chunk throws a distinct message; the caller must always
+    // observe the lowest-indexed chunk's exception regardless of
+    // worker scheduling. Repeat to give racier orderings a chance.
+    auto &pool = ThreadPool::instance();
+    pool.setNumThreads(4);
+    for (int rep = 0; rep < 50; ++rep) {
+        std::string caught;
+        try {
+            parallelFor(0, 1000, 1,
+                        [&](std::size_t lo, std::size_t) {
+                            throw std::runtime_error(
+                                "chunk@" + std::to_string(lo));
+                        });
+        } catch (const std::runtime_error &e) {
+            caught = e.what();
+        }
+        EXPECT_EQ(caught, "chunk@0");
+    }
+    pool.setNumThreads(0);
+}
+
+TEST(ThreadPool, UsableAfterException)
+{
+    // A throw must not poison the pool: the next job still covers the
+    // whole range exactly once and reports no stale error.
+    auto &pool = ThreadPool::instance();
+    pool.setNumThreads(4);
+    EXPECT_THROW(parallelFor(0, 1000, 1,
+                             [&](std::size_t, std::size_t) {
+                                 throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+    std::vector<std::atomic<int>> hits(1000);
+    EXPECT_NO_THROW(
+        parallelFor(0, hits.size(), 1,
+                    [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i)
+                            hits[i].fetch_add(1);
+                    }));
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
     pool.setNumThreads(0);
 }
 
