@@ -1,17 +1,29 @@
 /**
  * @file
  * Fault-resilience sweep: final accuracy of a quantized (HQT) training
- * run vs DRAM bit-flip rate, with the guardrail/rollback subsystem on
- * and off (DESIGN.md §5, EXPERIMENTS.md "Fault sweep").
+ * run vs DRAM bit-flip rate under three protection levels
+ * (DESIGN.md §5, EXPERIMENTS.md "Fault sweep"):
+ *
+ *   unprotected   - no monitoring, faults land on bare FP32 masters
+ *   rollback-only - PR 2 guardrails + CRC checkpoints (detect/recover)
+ *   ECC+ABFT      - PR 3 in-situ correction: SEC-DED Hamming(72,64)
+ *                   over the masters (faults land post-encode, on the
+ *                   coded words) with a background scrubber, plus the
+ *                   rollback ladder underneath for double-bit escapes
  *
  * Faults target the FP32 master weights — the state Cambricon-Q keeps
- * resident in DRAM for the whole run, which is exactly the state a
- * memory upset would silently poison. The guarded column checkpoints
- * every 10 steps and rolls back when a guard trips; the unguarded
- * column is the same trainer with the resilience subsystem disabled.
+ * resident in DRAM for the whole run. The injected data-bit rate is
+ * matched across arms: the coded surface is 72/64 larger and the
+ * uniform draw puts 64/72 of the flips in data bits, so the same
+ * flips/Mbit figure stresses all three arms equally. Burst length is 1
+ * (classic single-event upsets, the fault class SEC-DED is sized for).
+ *
+ * A second sweep targets the PE-array accumulators (compute faults,
+ * which no memory ECC can see) and compares guardrails alone against
+ * guardrails + ABFT checksum verification with retry.
  *
  * Usage: bench_fault_resilience [--smoke]
- *   --smoke  two rates, fewer steps (CI wiring check, a few seconds)
+ *   --smoke  fewer rates and steps + a stats dump (CI wiring check)
  */
 
 #include <cmath>
@@ -31,6 +43,15 @@ using namespace cq;
 
 namespace {
 
+enum class Arm
+{
+    Unprotected,
+    RollbackOnly,
+    EccAbft,
+    GuardedCompute,     ///< accumulator faults, guardrails only
+    GuardedComputeAbft, ///< accumulator faults, guardrails + ABFT
+};
+
 nn::Network
 makeMlp(std::uint64_t seed)
 {
@@ -48,12 +69,12 @@ struct SweepPoint
     double finalLoss = 0.0;
     std::size_t rollbacks = 0;
     double trips = 0.0;
-    double bitsFlipped = 0.0;
     bool diverged = false;
+    StatGroup stats;
 };
 
 SweepPoint
-run(double rate, bool guardrails, int steps, const std::string &ckpt)
+run(double rate, Arm arm, int steps, const std::string &ckpt)
 {
     nn::SpiralDataset data(2, 0.1, 17);
     nn::Network net = makeMlp(18);
@@ -62,16 +83,27 @@ run(double rate, bool guardrails, int steps, const std::string &ckpt)
     cfg.algorithm = quant::AlgorithmConfig::zhang2020Hqt(64);
     cfg.optimizer.kind = nn::OptimizerKind::Adam;
     cfg.optimizer.lr = 5e-3;
-    cfg.resilience.enabled = guardrails;
-    cfg.resilience.checkpointPath = guardrails ? ckpt : "";
+    cfg.resilience.enabled = arm != Arm::Unprotected;
+    cfg.resilience.checkpointPath =
+        arm != Arm::Unprotected ? ckpt : "";
     cfg.resilience.checkpointInterval = 10;
+    if (arm == Arm::EccAbft) {
+        cfg.resilience.ecc.enabled = true;
+        cfg.resilience.ecc.scrubWordsPerStep = 16;
+        cfg.resilience.abft.enabled = true;
+    }
+    if (arm == Arm::GuardedComputeAbft)
+        cfg.resilience.abft.enabled = true;
     nn::QuantTrainer trainer(net, cfg);
 
     sim::FaultConfig fcfg;
-    fcfg.seed = 0xFA117;
+    fcfg.seed = 0xBEEF;
     fcfg.bitFlipsPerMbit = rate;
-    fcfg.burstLength = 2;
-    fcfg.targetMasterWeights = true;
+    fcfg.burstLength = 1;
+    const bool compute_arm = arm == Arm::GuardedCompute ||
+                             arm == Arm::GuardedComputeAbft;
+    fcfg.targetMasterWeights = !compute_arm;
+    fcfg.targetAccumulators = compute_arm;
     sim::FaultInjector inj(fcfg);
     if (rate > 0.0)
         trainer.setFaultInjector(&inj);
@@ -87,13 +119,21 @@ run(double rate, bool guardrails, int steps, const std::string &ckpt)
     p.accuracyPct =
         100.0 * trainer.evalAccuracy(eval.inputs, eval.labels);
     p.rollbacks = trainer.rollbackCount();
-    const StatGroup stats = trainer.resilienceStats();
-    p.trips = stats.get("guard.breakerTrips") +
-              stats.get("guard.watchdogTrips");
-    p.bitsFlipped = stats.get("faults.bitsFlipped");
+    p.stats = trainer.resilienceStats();
+    p.trips = p.stats.get("guard.breakerTrips") +
+              p.stats.get("guard.watchdogTrips");
     if (!std::isfinite(p.accuracyPct))
         p.diverged = true;
     return p;
+}
+
+void
+printAcc(const SweepPoint &p)
+{
+    if (p.diverged)
+        std::printf(" %7s", "div");
+    else
+        std::printf(" %6.1f%%", p.accuracyPct);
 }
 
 } // namespace
@@ -105,36 +145,82 @@ main(int argc, char **argv)
         argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
     const int steps = smoke ? 60 : 200;
     const std::vector<double> rates =
-        smoke ? std::vector<double>{0.0, 2000.0}
+        smoke ? std::vector<double>{0.0, 100.0}
               : std::vector<double>{0.0, 10.0, 100.0, 500.0, 1000.0,
-                                    2000.0, 4000.0, 8000.0};
+                                    2000.0, 4000.0};
+    const std::vector<double> acc_rates =
+        smoke ? std::vector<double>{10.0}
+              : std::vector<double>{2.0, 10.0, 50.0};
     const std::string ckpt = "/tmp/cq_bench_fault_resilience.ckpt";
 
     std::printf("Fault resilience sweep: spiral MLP, Zhang-2020+HQT, "
-                "%d steps, faults on master weights\n\n",
+                "%d steps\n",
                 steps);
-    std::printf("%12s | %26s | %26s\n", "",
-                "guardrails + rollback", "unprotected");
-    std::printf("%12s | %8s %6s %4s %5s | %8s %9s\n",
-                "flips/Mbit", "acc%", "loss", "rb", "trips", "acc%",
-                "loss");
-    std::printf("-------------+----------------------------+----------"
-                "-----------------\n");
+    std::printf("DRAM faults on master weights (burst 1, post-encode "
+                "for the ECC arm)\n\n");
+    std::printf("%10s | %11s | %16s | %30s\n", "", "unprotected",
+                "rollback-only", "ECC+ABFT");
+    std::printf("%10s | %7s %3s | %7s %4s %3s | %7s %4s %6s %5s %3s\n",
+                "flips/Mbit", "acc%", "", "acc%", "rb", "", "acc%",
+                "rb", "corr", "unc", "");
+    std::printf("-----------+-------------+------------------+--------"
+                "-----------------------\n");
     for (const double rate : rates) {
-        const SweepPoint on = run(rate, true, steps, ckpt);
-        const SweepPoint off = run(rate, false, steps, ckpt);
-        char offLoss[32];
-        if (off.diverged)
-            std::snprintf(offLoss, sizeof offLoss, "diverged");
-        else
-            std::snprintf(offLoss, sizeof offLoss, "%9.3f",
-                          off.finalLoss);
-        std::printf("%12.0f | %7.1f%% %6.3f %4zu %5.0f | %7.1f%% %9s\n",
-                    rate, on.accuracyPct, on.finalLoss, on.rollbacks,
-                    on.trips, off.accuracyPct, offLoss);
+        const SweepPoint un = run(rate, Arm::Unprotected, steps, ckpt);
+        const SweepPoint rb = run(rate, Arm::RollbackOnly, steps, ckpt);
+        const SweepPoint ea = run(rate, Arm::EccAbft, steps, ckpt);
+        std::printf("%10.0f |", rate);
+        printAcc(un);
+        std::printf("     |");
+        printAcc(rb);
+        std::printf(" %4zu     |", rb.rollbacks);
+        printAcc(ea);
+        std::printf(" %4zu %6.0f %5.0f\n", ea.rollbacks,
+                    ea.stats.get("ecc.corrected"),
+                    ea.stats.get("ecc.uncorrectable"));
+        if (smoke && rate > 0.0) {
+            std::printf("\n%s\n",
+                        ea.stats
+                            .dump("ECC+ABFT resilience counters "
+                                  "(smoke)")
+                            .c_str());
+        }
     }
     std::printf("\nrb = rollbacks to the last CRC-verified checkpoint; "
-                "trips = breaker + watchdog trips.\n");
+                "corr/unc = SEC-DED\nsingle-bit corrections / "
+                "double-bit detections over the run.\n");
+
+    std::printf("\nCompute faults on PE-array accumulators (no memory "
+                "ECC can reach these)\n\n");
+    std::printf("%10s | %16s | %28s\n", "", "guardrails only",
+                "guardrails + ABFT");
+    std::printf("%10s | %7s %4s %3s | %7s %4s %6s %4s\n", "flips/Mbit",
+                "acc%", "rb", "", "acc%", "rb", "corr", "esc");
+    std::printf("-----------+------------------+---------------------"
+                "--------\n");
+    for (const double rate : acc_rates) {
+        const SweepPoint gd = run(rate, Arm::GuardedCompute, steps,
+                                  ckpt);
+        const SweepPoint ga = run(rate, Arm::GuardedComputeAbft, steps,
+                                  ckpt);
+        std::printf("%10.0f |", rate);
+        printAcc(gd);
+        std::printf(" %4zu     |", gd.rollbacks);
+        printAcc(ga);
+        std::printf(" %4zu %6.0f %4.0f\n", ga.rollbacks,
+                    ga.stats.get("abft.corrected"),
+                    ga.stats.get("abft.escalations"));
+        if (smoke) {
+            std::printf("\n%s\n",
+                        ga.stats
+                            .dump("ABFT compute-fault counters "
+                                  "(smoke)")
+                            .c_str());
+        }
+    }
+    std::printf("\ncorr = GEMMs repaired by checksum-guided recompute; "
+                "esc = mismatches that\nsurvived the retry and "
+                "escalated to step discard + rollback.\n");
     std::remove(ckpt.c_str());
     return 0;
 }

@@ -79,19 +79,29 @@ class CrcReader
         return read(&value, sizeof(T));
     }
 
-    /** Read the stored CRC and compare with the running one. */
-    bool
-    checkCrc()
+    /** What comparing the stored CRC against the running one found. */
+    enum class CrcCheck
+    {
+        Ok,
+        Truncated, ///< the stored CRC itself could not be read
+        Mismatch,
+    };
+
+    CrcCheck
+    checkCrcDetail()
     {
         std::uint32_t stored;
         if (std::fread(&stored, 1, sizeof(stored), f_) !=
             sizeof(stored)) {
-            return false;
+            return CrcCheck::Truncated;
         }
         const bool ok = stored == crc_;
         crc_ = 0;
-        return ok;
+        return ok ? CrcCheck::Ok : CrcCheck::Mismatch;
     }
+
+    /** Read the stored CRC and compare with the running one. */
+    bool checkCrc() { return checkCrcDetail() == CrcCheck::Ok; }
 
   private:
     std::FILE *f_;
@@ -114,33 +124,62 @@ writeTensor(CrcWriter &w, const Tensor &t)
     return w.writeCrc();
 }
 
-bool
+/** Why one tensor record failed to load (for the diagnostics). */
+enum class TensorReadError
+{
+    None,
+    Truncated,   ///< the file ended inside the record
+    BadHeader,   ///< implausible ndim / dims (corrupted header)
+    CrcMismatch, ///< payload read fine but its CRC disagrees
+};
+
+const char *
+tensorReadErrorName(TensorReadError e)
+{
+    switch (e) {
+      case TensorReadError::None:        return "ok";
+      case TensorReadError::Truncated:   return "truncated";
+      case TensorReadError::BadHeader:   return "bad header";
+      case TensorReadError::CrcMismatch: return "CRC mismatch";
+    }
+    return "?";
+}
+
+TensorReadError
 readTensor(CrcReader &r, Tensor &out)
 {
     std::uint32_t ndim;
-    if (!r.readPod(ndim) || ndim > kMaxNdim)
-        return false;
+    if (!r.readPod(ndim))
+        return TensorReadError::Truncated;
+    if (ndim > kMaxNdim)
+        return TensorReadError::BadHeader;
     Shape shape(ndim);
     std::uint64_t numel = 1;
     for (auto &d : shape) {
         std::uint64_t dim;
         if (!r.readPod(dim))
-            return false;
+            return TensorReadError::Truncated;
         d = static_cast<std::size_t>(dim);
         // Guard the product against overflow before multiplying.
         if (dim != 0 && numel > kMaxNumel / dim)
-            return false;
+            return TensorReadError::BadHeader;
         numel *= dim;
     }
     Tensor t(shape);
     if (t.numel() > kMaxNumel)
-        return false;
+        return TensorReadError::BadHeader;
     if (!r.read(t.data(), t.numel() * sizeof(float)))
-        return false;
-    if (!r.checkCrc())
-        return false;
+        return TensorReadError::Truncated;
+    switch (r.checkCrcDetail()) {
+      case CrcReader::CrcCheck::Ok:
+        break;
+      case CrcReader::CrcCheck::Truncated:
+        return TensorReadError::Truncated;
+      case CrcReader::CrcCheck::Mismatch:
+        return TensorReadError::CrcMismatch;
+    }
     out = std::move(t);
-    return true;
+    return TensorReadError::None;
 }
 
 bool
@@ -265,10 +304,29 @@ readCheckpoint(const std::string &path, TrainerSnapshot &out)
     out.masters.assign(static_cast<std::size_t>(params), Tensor{});
     out.m.assign(static_cast<std::size_t>(params), Tensor{});
     out.v.assign(static_cast<std::size_t>(params), Tensor{});
-    for (auto *group : {&out.masters, &out.m, &out.v})
-        for (Tensor &t : *group)
-            if (!readTensor(r, t))
+    struct
+    {
+        const char *name;
+        std::vector<Tensor> *tensors;
+    } const groups[] = {{"masters", &out.masters},
+                        {"m", &out.m},
+                        {"v", &out.v}};
+    for (const auto &group : groups) {
+        for (std::size_t i = 0; i < group.tensors->size(); ++i) {
+            const long offset = std::ftell(f);
+            const TensorReadError e =
+                readTensor(r, (*group.tensors)[i]);
+            if (e != TensorReadError::None) {
+                // Name the record so a bad rollback source can be
+                // traced to the tensor: group, index, byte offset.
+                warn("checkpoint: %s: tensor %s[%zu] at offset %ld: "
+                     "%s",
+                     path.c_str(), group.name, i, offset,
+                     tensorReadErrorName(e));
                 return corrupt();
+            }
+        }
+    }
 
     // Trailing garbage means the file is not the record we wrote.
     char extra;

@@ -32,10 +32,90 @@ QuantTrainer::QuantTrainer(Network &network, QuantTrainerConfig config)
                   "param/layer walk mismatch: %zu vs %zu",
                   layerOfParam_.size(), params_.size());
 
-    if (config_.resilience.enabled) {
+    const ResilienceConfig &r = config_.resilience;
+    if (r.enabled) {
         monitor_ = std::make_unique<guard::HealthMonitor>(
-            config_.resilience.guardrails, network_.size());
+            r.guardrails, network_.size());
+        if (r.ecc.enabled) {
+            masterEcc_.reserve(masters_.size());
+            for (Tensor &master : masters_) {
+                masterEcc_.emplace_back(master.numel());
+                masterEcc_.back().encodeAll(master.data());
+            }
+        }
+        // The scope config is prepared even when abft.enabled is
+        // false: the unprotected bench arm still routes GEMMs through
+        // the scope (verify off) so every arm draws the same
+        // accumulator fault pattern from the shared injector.
+        abftConfig_.verify = r.abft.enabled;
+        abftConfig_.relTol = r.abft.relTol;
+        abftConfig_.maxRetries = r.abft.maxRetries;
+        abftConfig_.stats = &abftStats_;
+        abftConfig_.corruptOutput = [this](Tensor &t) {
+            if (faults_ != nullptr)
+                faults_->maybeCorrupt(t.data(), t.numel(),
+                                      sim::FaultSite::Accumulators);
+        };
+        // Transient-upset model: a retry recomputes a handful of rows
+        // moments after the fault, so it draws no fresh full-tile
+        // injection pass.
+        abftConfig_.corruptRetries = false;
     }
+}
+
+bool
+QuantTrainer::abftScopeActive() const
+{
+    if (!config_.resilience.enabled)
+        return false;
+    return config_.resilience.abft.enabled ||
+           (faults_ != nullptr &&
+            faults_->targets(sim::FaultSite::Accumulators));
+}
+
+void
+QuantTrainer::correctMastersEcc()
+{
+    const std::size_t scrub_words =
+        config_.resilience.ecc.scrubWordsPerStep;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        float *data = masters_[i].data();
+        dram::EccProtectedArray &ecc = masterEcc_[i];
+        dram::EccProtectedArray::Report rep;
+        if (scrub_words > 0) {
+            rep = ecc.scrub(data, scrub_words);
+            eccStats_.add("ecc.scrubbedWords",
+                          static_cast<double>(rep.scanned));
+        }
+        // Demand path: the trainer reads every master this step, so
+        // the x72 read pipeline decode-corrects the whole array.
+        const auto demand = ecc.correctAll(data);
+        rep.merge(demand);
+        eccStats_.add("ecc.scannedWords",
+                      static_cast<double>(demand.scanned));
+        if (rep.corrected > 0)
+            eccStats_.add("ecc.corrected",
+                          static_cast<double>(rep.corrected));
+        if (rep.uncorrectable > 0) {
+            // Double-bit damage survives the decoder: discard the
+            // step and recover through the checkpoint ladder.
+            eccStats_.add("ecc.uncorrectable",
+                          static_cast<double>(rep.uncorrectable));
+            stepHealthy_ = false;
+            monitor_->tripLayer(layerOfParam_[i]);
+            monitor_->stats().add("guard.eccUncorrectable", 1.0);
+            warn("ecc: %zu uncorrectable word(s) in master %zu "
+                 "(layer %zu) at step %zu",
+                 rep.uncorrectable, i, layerOfParam_[i], step_);
+        }
+    }
+}
+
+void
+QuantTrainer::reencodeMastersEcc()
+{
+    for (std::size_t i = 0; i < params_.size(); ++i)
+        masterEcc_[i].encodeAll(masters_[i].data());
 }
 
 void
@@ -93,6 +173,10 @@ QuantTrainer::forwardQuantized(const Tensor &inputs)
                                       quant::TensorRole::Activation);
         };
     }
+    if (abftScopeActive()) {
+        abft::AbftScope scope(abftConfig_);
+        return network_.forward(inputs, hook);
+    }
     return network_.forward(inputs, hook);
 }
 
@@ -122,6 +206,11 @@ QuantTrainer::backwardQuantized(const Tensor &grad)
         return quant::applyPolicy(g, config_.algorithm,
                                   quant::TensorRole::NeuronGradient);
     };
+    if (abftScopeActive()) {
+        abft::AbftScope scope(abftConfig_);
+        network_.backward(grad, hook);
+        return;
+    }
     network_.backward(grad, hook);
 }
 
@@ -135,10 +224,24 @@ QuantTrainer::beginStep()
     if (faults_ != nullptr) {
         // Upsets that struck the DRAM-resident master rows since the
         // previous step become visible before anything reads them.
-        for (Tensor &master : masters_)
-            faults_->maybeCorrupt(master.data(), master.numel(),
-                                  sim::FaultSite::MasterWeights);
+        // With ECC the flips land on the 72-bit coded words (data or
+        // check bits) instead of the bare floats.
+        if (eccEnabled()) {
+            for (std::size_t i = 0; i < masters_.size(); ++i)
+                faults_->maybeCorruptCoded(
+                    masters_[i].data(), masters_[i].numel(),
+                    masterEcc_[i].checkBits(),
+                    masterEcc_[i].numWords(),
+                    sim::FaultSite::MasterWeights);
+        } else {
+            for (Tensor &master : masters_)
+                faults_->maybeCorrupt(master.data(), master.numel(),
+                                      sim::FaultSite::MasterWeights);
+        }
     }
+    if (eccEnabled())
+        correctMastersEcc();
+    abftEscalationsAtStepStart_ = abftStats_.get("abft.escalations");
     if (monitor_ != nullptr) {
         for (std::size_t i = 0; i < params_.size(); ++i) {
             if (monitor_->checkTensor(masters_[i], "masterWeights",
@@ -179,6 +282,15 @@ QuantTrainer::finishStep(double loss)
             watchdog_tripped = true;
         }
     }
+    if (config_.resilience.abft.enabled &&
+        abftStats_.get("abft.escalations") >
+            abftEscalationsAtStepStart_) {
+        // A GEMM's checksum mismatch survived its recompute retries:
+        // the step's activations/gradients are suspect, so degrade to
+        // the rollback tier rather than committing the update.
+        stepHealthy_ = false;
+        monitor_->stats().add("guard.abftEscalatedSteps", 1.0);
+    }
 
     if (monitor_ == nullptr || stepHealthy_) {
         // Weight gradients stay FP32 (every algorithm's "special
@@ -187,6 +299,11 @@ QuantTrainer::finishStep(double loss)
         optimizer_.step();
         for (std::size_t i = 0; i < params_.size(); ++i)
             masters_[i] = params_[i]->value;
+        if (eccEnabled()) {
+            // The in-place RMW update rewrote the rows; re-encode the
+            // sideband so next step's decode sees a clean codeword.
+            reencodeMastersEcc();
+        }
         if (monitor_ != nullptr)
             monitor_->breakers().countDown();
         maybeCheckpoint();
@@ -276,6 +393,11 @@ QuantTrainer::rollback()
     }
     optimizer_.setStepCount(
         static_cast<std::size_t>(snap.optimizerStep));
+    if (eccEnabled()) {
+        // The restore rewrote every master row; refresh the sideband
+        // (this also clears any lingering double-bit flag).
+        reencodeMastersEcc();
+    }
     if (snap.hasRngState && r.dataRng != nullptr)
         r.dataRng->setState(snap.rngState);
     ++rollbacks_;
@@ -293,6 +415,8 @@ QuantTrainer::resilienceStats() const
         out.merge(monitor_->stats());
     if (faults_ != nullptr)
         out.merge(faults_->stats());
+    out.merge(eccStats_);
+    out.merge(abftStats_);
     return out;
 }
 

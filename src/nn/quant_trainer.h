@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "dram/ecc.h"
 #include "nn/guard/checkpoint.h"
 #include "nn/guard/guardrails.h"
 #include "nn/network.h"
@@ -34,6 +35,7 @@
 #include "nn/softmax.h"
 #include "quant/policy.h"
 #include "sim/faults/fault_injector.h"
+#include "tensor/abft.h"
 
 namespace cq::nn {
 
@@ -43,6 +45,34 @@ struct GradientRecord
     std::size_t step = 0;
     std::size_t layerIndex = 0;
     double maxAbs = 0.0;
+};
+
+/** Tier-1 correction: SEC-DED ECC over the DRAM-resident masters. */
+struct EccPolicy
+{
+    /** Keep Hamming(72,64) sideband check bits for every master
+     *  tensor; faults then land on the coded words (post-encode) and
+     *  the per-step read sweep corrects single-bit errors in place. */
+    bool enabled = false;
+    /**
+     * Background scrubber: words corrected per master tensor per step
+     * ahead of the demand read sweep, through a deterministic
+     * wrap-around cursor. 0 disables the scrubber (demand reads still
+     * correct everything the trainer touches).
+     */
+    std::size_t scrubWordsPerStep = 0;
+};
+
+/** Tier-2 correction: ABFT checksums on every GEMM of the step. */
+struct AbftPolicy
+{
+    /** Route every cq::matmul() of forward/backward through the
+     *  checksummed abftMatmul() (tensor/abft.h). */
+    bool enabled = false;
+    /** Relative tolerance; 0 = sqrt(k)-scaled auto tolerance. */
+    double relTol = 0.0;
+    /** Recompute passes before a GEMM escalates to step discard. */
+    int maxRetries = 1;
 };
 
 /** Resilience: guardrails + checkpoint/rollback policy. */
@@ -61,6 +91,9 @@ struct ResilienceConfig
      * replays the stream from the snapshot point.
      */
     Rng *dataRng = nullptr;
+    /** In-situ correction tiers (DESIGN.md §5.4). */
+    EccPolicy ecc;
+    AbftPolicy abft;
 };
 
 /** Trainer configuration. */
@@ -143,6 +176,15 @@ class QuantTrainer
     /** Rollbacks performed since construction. */
     std::size_t rollbackCount() const { return rollbacks_; }
 
+    /** True when SEC-DED sidebands protect the master tensors. */
+    bool eccEnabled() const { return !masterEcc_.empty(); }
+
+    /** ecc.* counters (empty group when ECC is off). */
+    const StatGroup &eccStats() const { return eccStats_; }
+
+    /** abft.* counters (empty group when ABFT never engaged). */
+    const StatGroup &abftStats() const { return abftStats_; }
+
     /** Write a checkpoint of the current state immediately. */
     bool checkpointNow();
 
@@ -170,6 +212,12 @@ class QuantTrainer
     void maybeCheckpoint();
     /** Roll back to the last good checkpoint, if one exists. */
     void rollback();
+    /** Scrub + demand-correct every master; trips on double bits. */
+    void correctMastersEcc();
+    /** Recompute every master's check bits (after a rewrite). */
+    void reencodeMastersEcc();
+    /** True when forward/backward should run under an AbftScope. */
+    bool abftScopeActive() const;
 
     Network &network_;
     QuantTrainerConfig config_;
@@ -187,6 +235,13 @@ class QuantTrainer
     bool stepHealthy_ = true;
     bool lastStepDiscarded_ = false;
     std::size_t rollbacks_ = 0;
+
+    /** One SEC-DED sideband per master tensor (empty = ECC off). */
+    std::vector<dram::EccProtectedArray> masterEcc_;
+    StatGroup eccStats_;
+    abft::AbftConfig abftConfig_;
+    StatGroup abftStats_;
+    double abftEscalationsAtStepStart_ = 0.0;
 };
 
 } // namespace cq::nn

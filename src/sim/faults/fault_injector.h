@@ -39,6 +39,7 @@ enum class FaultSite
     ComputeWeights,  ///< quantized weight copies streamed into SB
     Gradients,       ///< weight-gradient buffers (WGSTORE stream)
     OptimizerState,  ///< m/v moment rows adjacent to the weights
+    Accumulators,    ///< PE-array accumulators / GEMM output tiles
 };
 
 const char *faultSiteName(FaultSite site);
@@ -62,6 +63,7 @@ struct FaultConfig
     bool targetComputeWeights = false;
     bool targetGradients = false;
     bool targetOptimizerState = false;
+    bool targetAccumulators = false;
     /** @} */
 };
 
@@ -96,6 +98,30 @@ class FaultInjector
      * per-step hook). Returns bits flipped (0 when not targeted).
      */
     std::size_t maybeCorrupt(float *data, std::size_t n, FaultSite site);
+
+    /**
+     * Injection pass over the *coded* image of an ECC-protected
+     * buffer: @p n floats at @p data plus one 8-bit check byte per
+     * 64-bit word at @p check (num_words = ceil(n/2), the
+     * EccProtectedArray sideband). Bit positions are drawn uniformly
+     * over the 72-bit coded words, so ~8/72 of the upsets land in
+     * check bits — the realistic raw-bit surface a SEC-DED decoder
+     * sees. Bursts run along the coded bit string and may straddle
+     * the data/check boundary and word boundaries. Flips aimed at the
+     * padding half of an odd-length tail word hit no storage and are
+     * skipped (the RNG draw sequence is unaffected). Always executes
+     * serially on the calling thread, so the pattern is bitwise
+     * deterministic at any CQ_THREADS setting.
+     */
+    std::size_t corruptCoded(float *data, std::size_t n,
+                             std::uint8_t *check,
+                             std::size_t num_words, FaultSite site);
+
+    /** Gated variant of corruptCoded(), mirroring maybeCorrupt(). */
+    std::size_t maybeCorruptCoded(float *data, std::size_t n,
+                                  std::uint8_t *check,
+                                  std::size_t num_words,
+                                  FaultSite site);
 
     /** Fault counters: faults.events, faults.bitsFlipped,
      *  faults.site.<name> (events per site). */

@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "tensor/abft.h"
 
 namespace cq {
 
@@ -116,6 +117,10 @@ matmul(const Tensor &a, const Tensor &b)
     CQ_ASSERT_MSG(b.dim(0) == k, "matmul: inner dims disagree, %s x %s",
                   shapeToString(a.shape()).c_str(),
                   shapeToString(b.shape()).c_str());
+    // Inside an ABFT scope the product is checksum-verified; the
+    // checksum pass recurses into this function scope-suspended.
+    if (const abft::AbftConfig *cfg = abft::AbftScope::active())
+        return abft::abftMatmul(a, b, *cfg);
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
