@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Implementation of the durable file-system helpers.
+ */
+
+#include "common/fileutil.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/crc32.h"
+
+namespace cq {
+
+bool
+fsyncFd(int fd)
+{
+    int rc;
+    do {
+        rc = ::fsync(fd);
+    } while (rc != 0 && errno == EINTR);
+    return rc == 0;
+}
+
+namespace {
+
+/** open(2) with EINTR retry. */
+int
+openRetry(const char *path, int flags)
+{
+    int fd;
+    do {
+        fd = ::open(path, flags);
+    } while (fd < 0 && errno == EINTR);
+    return fd;
+}
+
+} // namespace
+
+bool
+fsyncPath(const std::string &path)
+{
+    const int fd = openRetry(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = fsyncFd(fd);
+    ::close(fd);
+    return ok;
+}
+
+std::string
+parentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+bool
+fsyncParentDir(const std::string &path)
+{
+    return fsyncPath(parentDir(path));
+}
+
+bool
+pathExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+bool
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) == 0)
+        return true;
+    if (errno != EEXIST)
+        return false;
+    struct stat st;
+    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string>
+listDir(const std::string &dir)
+{
+    std::vector<std::string> names;
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return names;
+    while (const struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name != "." && name != "..")
+            names.push_back(name);
+    }
+    ::closedir(d);
+    return names;
+}
+
+bool
+crc32OfFile(const std::string &path, std::uint32_t &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    std::uint32_t crc = 0;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        crc = crc32(buf, n, crc);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    if (ok)
+        out = crc;
+    return ok;
+}
+
+long long
+fileSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<long long>(st.st_size);
+}
+
+} // namespace cq

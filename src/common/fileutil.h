@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Durable file-system helpers for crash-consistent persistence.
+ *
+ * The checkpoint subsystem publishes snapshots with the classic
+ * write-temp / fsync-file / rename / fsync-directory protocol: after a
+ * power loss either the old or the new file is visible, never a
+ * truncated hybrid, and the rename itself is durable once the parent
+ * directory has been synced. These helpers wrap the POSIX calls with
+ * EINTR-safe retries so the protocol reads as intent at the call
+ * sites.
+ */
+
+#ifndef CQ_COMMON_FILEUTIL_H
+#define CQ_COMMON_FILEUTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cq {
+
+/** fsync(2) on an open descriptor, retrying EINTR. */
+bool fsyncFd(int fd);
+
+/** Open @p path read-only, fsync it, close. */
+bool fsyncPath(const std::string &path);
+
+/**
+ * fsync the directory containing @p path, making a rename into that
+ * directory durable. Uses parentDir(path).
+ */
+bool fsyncParentDir(const std::string &path);
+
+/** The directory component of @p path ("." when there is none). */
+std::string parentDir(const std::string &path);
+
+/** True when @p path names an existing file or directory. */
+bool pathExists(const std::string &path);
+
+/** mkdir -p for one level: create @p dir if missing (mode 0755). */
+bool ensureDir(const std::string &dir);
+
+/** Plain file names (no "."/"..") inside @p dir; empty on error. */
+std::vector<std::string> listDir(const std::string &dir);
+
+/**
+ * CRC-32 (zlib polynomial, common/crc32.h) over the whole file.
+ * Returns false when the file cannot be read; @p out is the checksum
+ * on success.
+ */
+bool crc32OfFile(const std::string &path, std::uint32_t &out);
+
+/** Size of the file in bytes, or -1 on error. */
+long long fileSize(const std::string &path);
+
+} // namespace cq
+
+#endif // CQ_COMMON_FILEUTIL_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Implementation of the shutdown request flag.
+ */
+
+#include "common/signal_flag.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace cq {
+
+namespace {
+
+/** lock-free atomic: the handler may only touch async-signal-safe
+ *  state, and std::atomic<bool> is guaranteed lock-free here. */
+std::atomic<bool> gShutdownRequested{false};
+
+extern "C" void
+shutdownSignalHandler(int signo)
+{
+    gShutdownRequested.store(true, std::memory_order_relaxed);
+    // A second Ctrl-C must still work even if the run wedges while
+    // draining: fall back to the default disposition after the first.
+    if (signo == SIGINT)
+        std::signal(SIGINT, SIG_DFL);
+}
+
+} // namespace
+
+void
+installShutdownSignalHandler()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = shutdownSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: a blocking write in the checkpoint path should
+    // see EINTR (the durable writers retry it) rather than delay the
+    // shutdown indefinitely.
+    sa.sa_flags = 0;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return gShutdownRequested.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown()
+{
+    gShutdownRequested.store(true, std::memory_order_relaxed);
+}
+
+void
+clearShutdownRequest()
+{
+    gShutdownRequested.store(false, std::memory_order_relaxed);
+}
+
+} // namespace cq

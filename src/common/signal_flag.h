@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Async-signal-safe shutdown request flag.
+ *
+ * Long training runs must survive operator interrupts the way they
+ * survive faults: a SIGTERM or SIGINT should produce one final
+ * synchronous checkpoint and a clean exit, not a torn process image.
+ * The handler installed here only sets a flag; the training loop polls
+ * it at step boundaries (QuantTrainer::stopRequested()) where a
+ * consistent snapshot can be taken. SIGKILL is deliberately not (and
+ * cannot be) handled — that path is covered by crash-consistent
+ * checkpoint commits plus elastic resume.
+ */
+
+#ifndef CQ_COMMON_SIGNAL_FLAG_H
+#define CQ_COMMON_SIGNAL_FLAG_H
+
+namespace cq {
+
+/**
+ * Install SIGTERM/SIGINT handlers that set the shutdown flag. Safe to
+ * call more than once. A second SIGINT restores the default
+ * disposition first, so a stuck run can still be killed by hand.
+ */
+void installShutdownSignalHandler();
+
+/** True once SIGTERM/SIGINT arrived (or requestShutdown() ran). */
+bool shutdownRequested();
+
+/** Set the flag programmatically (tests, embedding applications). */
+void requestShutdown();
+
+/** Clear the flag (tests; a new run after a handled shutdown). */
+void clearShutdownRequest();
+
+} // namespace cq
+
+#endif // CQ_COMMON_SIGNAL_FLAG_H

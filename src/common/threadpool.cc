@@ -182,6 +182,17 @@ ThreadPool::setNumThreads(unsigned n)
 }
 
 void
+ThreadPool::reinitAfterFork()
+{
+    // The old State's mutexes may have been cloned mid-lock and its
+    // workers vector holds joinable std::threads whose OS threads no
+    // longer exist; both make destruction UB/terminate. Leak it.
+    state_ = new State;
+    tlsInParallelRegion = false;
+    spawnWorkers(numThreads_);
+}
+
+void
 ThreadPool::parallelFor(std::size_t begin, std::size_t end,
                         std::size_t grain, const RangeFn &fn)
 {

@@ -52,6 +52,19 @@ class ThreadPool
     void setNumThreads(unsigned n);
 
     /**
+     * Make the pool usable in a child process after fork(). Worker
+     * threads do not survive fork — the child inherits only the
+     * forking thread, plus mutexes/condvars cloned in whatever state
+     * they were in — so the inherited State is unusable and is
+     * deliberately leaked (joining dead std::threads would terminate,
+     * destroying a possibly-locked mutex is UB). A fresh State is
+     * allocated and workers respawned at the previous thread count.
+     * Call immediately after fork() in the child, before any kernel
+     * runs; the fork itself must happen outside a parallel region.
+     */
+    void reinitAfterFork();
+
+    /**
      * Run @p fn over [begin, end) split into at most numThreads()
      * contiguous chunks of at least @p grain indices each. Blocks
      * until every chunk finished; rethrows the first exception a

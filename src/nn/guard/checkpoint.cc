@@ -8,7 +8,10 @@
 #include <cstdio>
 #include <cstring>
 
+#include <unistd.h>
+
 #include "common/crc32.h"
+#include "common/fileutil.h"
 #include "common/logging.h"
 
 namespace cq::nn::guard {
@@ -27,13 +30,16 @@ constexpr std::uint64_t kMaxParams = 1ull << 24;
 class CrcWriter
 {
   public:
-    explicit CrcWriter(std::FILE *f) : f_(f) {}
+    CrcWriter(std::FILE *f, const CheckpointWriteOptions &options)
+        : f_(f), options_(options)
+    {
+    }
 
     bool
     write(const void *data, std::size_t len)
     {
         crc_ = crc32(data, len, crc_);
-        return std::fwrite(data, 1, len, f_) == len;
+        return rawWrite(data, len);
     }
 
     template <typename T>
@@ -49,19 +55,58 @@ class CrcWriter
     {
         const std::uint32_t c = crc_;
         crc_ = 0;
-        return std::fwrite(&c, 1, sizeof(c), f_) == sizeof(c);
+        return rawWrite(&c, sizeof(c));
     }
 
+    /** CRC over every byte the file received (including the embedded
+     *  section CRCs) — what the generation manifest records. */
+    std::uint32_t fileCrc() const { return fileCrc_; }
+
   private:
+    bool
+    rawWrite(const void *data, std::size_t len)
+    {
+        if (std::fwrite(data, 1, len, f_) != len)
+            return false;
+        fileCrc_ = crc32(data, len, fileCrc_);
+        if (options_.slowWriteMicros > 0)
+            ::usleep(options_.slowWriteMicros);
+        if (options_.onWrite)
+            options_.onWrite(len);
+        return true;
+    }
+
     std::FILE *f_;
+    const CheckpointWriteOptions &options_;
     std::uint32_t crc_ = 0;
+    std::uint32_t fileCrc_ = 0;
 };
 
 /** FILE source mirroring CrcWriter. */
 class CrcReader
 {
   public:
-    explicit CrcReader(std::FILE *f) : f_(f) {}
+    explicit CrcReader(std::FILE *f) : f_(f)
+    {
+        // Remember the file size so header-claimed payload lengths
+        // can be sanity-checked *before* any allocation: a corrupt
+        // dim field must fail fast, not zero gigabytes of memory.
+        const long cur = std::ftell(f_);
+        if (cur >= 0 && std::fseek(f_, 0, SEEK_END) == 0) {
+            size_ = std::ftell(f_);
+            std::fseek(f_, cur, SEEK_SET);
+        }
+    }
+
+    /** Bytes between the cursor and end-of-file. */
+    std::uint64_t
+    remaining() const
+    {
+        const long pos = std::ftell(f_);
+        if (pos < 0 || size_ < pos)
+            return 0;
+        return static_cast<std::uint64_t>(size_ - pos);
+    }
 
     bool
     read(void *data, std::size_t len)
@@ -105,6 +150,7 @@ class CrcReader
 
   private:
     std::FILE *f_;
+    long size_ = 0;
     std::uint32_t crc_ = 0;
 };
 
@@ -165,6 +211,11 @@ readTensor(CrcReader &r, Tensor &out)
             return TensorReadError::BadHeader;
         numel *= dim;
     }
+    // The payload cannot exceed what the file actually holds; a
+    // corrupt dim field otherwise triggers a huge allocation before
+    // the inevitable CRC failure.
+    if (numel * sizeof(float) > r.remaining())
+        return TensorReadError::Truncated;
     Tensor t(shape);
     if (t.numel() > kMaxNumel)
         return TensorReadError::BadHeader;
@@ -230,8 +281,25 @@ checkpointLoadResultName(CheckpointLoadResult result)
     return "?";
 }
 
-bool
-writeCheckpoint(const std::string &path, const TrainerSnapshot &snap)
+const char *
+checkpointWriteResultName(CheckpointWriteResult result)
+{
+    switch (result) {
+      case CheckpointWriteResult::Ok:            return "ok";
+      case CheckpointWriteResult::OpenFailed:    return "open failed";
+      case CheckpointWriteResult::WriteFailed:   return "write failed";
+      case CheckpointWriteResult::FsyncFailed:   return "fsync failed";
+      case CheckpointWriteResult::RenameFailed:  return "rename failed";
+      case CheckpointWriteResult::DirFsyncFailed:
+        return "dir fsync failed";
+    }
+    return "?";
+}
+
+CheckpointWriteResult
+writeCheckpointEx(const std::string &path, const TrainerSnapshot &snap,
+                  const CheckpointWriteOptions &options,
+                  std::uint32_t *fileCrcOut)
 {
     CQ_ASSERT_MSG(snap.m.size() == snap.masters.size() &&
                       snap.v.size() == snap.masters.size(),
@@ -241,23 +309,61 @@ writeCheckpoint(const std::string &path, const TrainerSnapshot &snap)
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr) {
         warn("checkpoint: cannot open %s for writing", tmp.c_str());
-        return false;
+        return CheckpointWriteResult::OpenFailed;
     }
-    CrcWriter w(f);
-    const bool ok = writeBody(w, snap);
-    const bool closed = std::fclose(f) == 0;
-    if (!ok || !closed) {
-        warn("checkpoint: write to %s failed", tmp.c_str());
+    CrcWriter w(f, options);
+    bool ok;
+    try {
+        ok = writeBody(w, snap);
+    } catch (...) {
+        // The onWrite hook threw: clean up the torn temp file, then
+        // let the caller (e.g. the async writer) see the exception.
+        std::fclose(f);
         std::remove(tmp.c_str());
-        return false;
+        throw;
+    }
+    ok = ok && std::fflush(f) == 0;
+    if (!ok) {
+        warn("checkpoint: write to %s failed", tmp.c_str());
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        return CheckpointWriteResult::WriteFailed;
+    }
+    // Durability order matters: file bytes must be on stable storage
+    // *before* the rename makes them the committed snapshot, and the
+    // directory entry after it. An fsync failure is a distinct error —
+    // the write calls all succeeded, but nothing is guaranteed durable.
+    if (options.durable && !fsyncFd(::fileno(f))) {
+        warn("checkpoint: fsync of %s failed", tmp.c_str());
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        return CheckpointWriteResult::FsyncFailed;
+    }
+    if (std::fclose(f) != 0) {
+        warn("checkpoint: close of %s failed", tmp.c_str());
+        std::remove(tmp.c_str());
+        return CheckpointWriteResult::WriteFailed;
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         warn("checkpoint: rename %s -> %s failed", tmp.c_str(),
              path.c_str());
         std::remove(tmp.c_str());
-        return false;
+        return CheckpointWriteResult::RenameFailed;
     }
-    return true;
+    if (options.durable && !fsyncParentDir(path)) {
+        warn("checkpoint: directory fsync after committing %s failed",
+             path.c_str());
+        return CheckpointWriteResult::DirFsyncFailed;
+    }
+    if (fileCrcOut != nullptr)
+        *fileCrcOut = w.fileCrc();
+    return CheckpointWriteResult::Ok;
+}
+
+bool
+writeCheckpoint(const std::string &path, const TrainerSnapshot &snap)
+{
+    return writeCheckpointEx(path, snap) == CheckpointWriteResult::Ok;
 }
 
 CheckpointLoadResult
@@ -299,6 +405,11 @@ readCheckpoint(const std::string &path, TrainerSnapshot &out)
     if (!r.readPod(params) || params > kMaxParams)
         return corrupt();
     if (!r.checkCrc())
+        return corrupt();
+    // Each parameter contributes three tensor records of >= 8 bytes
+    // (ndim + CRC) each; a count the file cannot hold is corruption,
+    // caught here before sizing the output vectors.
+    if (params * 3ull * 8ull > r.remaining())
         return corrupt();
 
     out.masters.assign(static_cast<std::size_t>(params), Tensor{});

@@ -11,15 +11,18 @@
  * a file as Ok / Missing / Corrupt and never resume from a snapshot
  * whose checksums disagree.
  *
- * Writes go to "<path>.tmp" and are published with an atomic
- * std::rename, so a crash mid-write leaves the previous good snapshot
- * in place rather than a truncated file.
+ * Writes go to "<path>.tmp" and are published with the durable
+ * rename-on-write protocol: the temp file is fsync'd before the
+ * rename and the parent directory after it, so a power loss leaves
+ * either the previous snapshot or the complete new one — never a
+ * zero-length or truncated "committed" file.
  */
 
 #ifndef CQ_NN_GUARD_CHECKPOINT_H
 #define CQ_NN_GUARD_CHECKPOINT_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -58,8 +61,61 @@ enum class CheckpointLoadResult
 const char *checkpointLoadResultName(CheckpointLoadResult result);
 
 /**
- * Write @p snap to @p path (atomic rename-on-write). Returns false on
- * I/O failure (the previous snapshot, if any, is left untouched).
+ * Outcome of a checkpoint write. Every failure leaves the previous
+ * snapshot (if any) untouched; the codes distinguish *where* the
+ * commit protocol stopped, because the recovery differs: an fsync
+ * failure means the bytes may not be on stable storage even though
+ * every write call succeeded, and must never be reported as success.
+ */
+enum class CheckpointWriteResult
+{
+    Ok,
+    /** The temp file could not be created. */
+    OpenFailed,
+    /** Serialization or a write/flush/close call failed. */
+    WriteFailed,
+    /** fsync of the temp file failed: data not durably on disk. */
+    FsyncFailed,
+    /** The rename publishing the temp file failed. */
+    RenameFailed,
+    /** Renamed, but the parent-directory fsync failed: the new name
+     *  may not survive a power loss (the data itself is synced). */
+    DirFsyncFailed,
+};
+
+const char *checkpointWriteResultName(CheckpointWriteResult result);
+
+/** Knobs of the durable write path (all defaults production-safe). */
+struct CheckpointWriteOptions
+{
+    /** fsync the temp file before rename and the parent directory
+     *  after. Off only for tests that model the pre-durability bug. */
+    bool durable = true;
+    /**
+     * Test hook invoked after every write call with that call's byte
+     * count. The kill–restart harness raises SIGKILL from here to
+     * land a crash mid-write; a throwing hook is propagated after the
+     * temp file is cleaned up.
+     */
+    std::function<void(std::size_t chunkBytes)> onWrite;
+    /** Sleep this long after each write call — widens the mid-write
+     *  window so an external killer can hit it. 0 = no slow-down. */
+    unsigned slowWriteMicros = 0;
+};
+
+/**
+ * Durable write of @p snap to @p path. On Ok, @p fileCrcOut (when
+ * non-null) receives the CRC-32 of the committed file's bytes — the
+ * value the generation manifest records for cheap re-verification.
+ */
+CheckpointWriteResult
+writeCheckpointEx(const std::string &path, const TrainerSnapshot &snap,
+                  const CheckpointWriteOptions &options = {},
+                  std::uint32_t *fileCrcOut = nullptr);
+
+/**
+ * Write @p snap to @p path (durable rename-on-write). Returns false
+ * on any failure (the previous snapshot, if any, is left untouched).
  */
 bool writeCheckpoint(const std::string &path,
                      const TrainerSnapshot &snap);

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Implementation of the kill–restart training leg.
+ */
+
+#include "nn/guard/crash_harness.h"
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/datasets.h"
+#include "nn/linear.h"
+#include "nn/network.h"
+#include "nn/quant_trainer.h"
+
+namespace cq::nn::guard {
+
+namespace {
+
+/** The canonical spiral MLP (same shape as the resilience tests). */
+Network
+makeMlp(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Network net;
+    net.add(std::make_unique<Linear>("fc1", 2, 32, rng));
+    net.add(std::make_unique<Activation>("t", ActKind::Tanh));
+    net.add(std::make_unique<Linear>("fc2", 32, 2, rng));
+    return net;
+}
+
+} // namespace
+
+CrashHarnessResult
+runCrashHarness(const CrashHarnessConfig &config)
+{
+    CrashHarnessResult result;
+
+    SpiralDataset data(2, 0.1, config.seed);
+    Network net = makeMlp(config.seed + 1);
+
+    QuantTrainerConfig cfg;
+    cfg.algorithm = quant::AlgorithmConfig::zhang2020Hqt(64);
+    cfg.optimizer.kind = OptimizerKind::Adam;
+    cfg.optimizer.lr = 5e-3;
+    cfg.resilience.enabled = true;
+    cfg.resilience.checkpointDir = config.dir;
+    cfg.resilience.checkpointKeep = config.ckptKeep;
+    cfg.resilience.checkpointInterval =
+        static_cast<std::size_t>(config.ckptEvery);
+    cfg.resilience.asyncCheckpoint = config.asyncCheckpoint;
+    cfg.resilience.handleSignals = config.handleSignals;
+    cfg.resilience.dataRng = &data.rng();
+    cfg.resilience.writeOptions.slowWriteMicros =
+        config.slowWriteMicros;
+    if (config.killAtWriteBytes > 0) {
+        // Cumulative across commits (snapshot bodies and manifest
+        // rewrites alike): the process dies mid-write once the
+        // checkpoint stream crosses the planned offset. SIGKILL is
+        // uncatchable, so this models a genuine hard kill, not a
+        // cooperative shutdown.
+        auto written = std::make_shared<std::uint64_t>(0);
+        const std::uint64_t killAt = config.killAtWriteBytes;
+        cfg.resilience.writeOptions.onWrite =
+            [written, killAt](std::size_t chunk) {
+                *written += chunk;
+                if (*written >= killAt)
+                    ::raise(SIGKILL);
+            };
+    }
+
+    QuantTrainer trainer(net, cfg);
+
+    if (config.resume) {
+        const auto ro = trainer.resumeFrom(
+            config.resumeDir.empty() ? config.dir
+                                     : config.resumeDir);
+        result.resumed = ro.resumed;
+        result.resumedGeneration = ro.generation;
+        result.resumedStep = ro.step;
+        result.skippedCorrupt = ro.skippedCorrupt;
+    }
+
+    while (trainer.stepCount() < config.steps) {
+        const auto batch = data.sample(config.batchSize);
+        result.finalLoss =
+            trainer.stepClassification(batch.inputs, batch.labels);
+        ++result.stepsRun;
+        if (config.killAtStep != 0 &&
+            trainer.stepCount() >= config.killAtStep) {
+            // The step's update (and its checkpoint submit) is done;
+            // die before any later step runs.
+            ::raise(SIGKILL);
+        }
+        if (trainer.stopRequested()) {
+            result.stopRequested = true;
+            break;
+        }
+    }
+    trainer.drainCheckpoints();
+
+    // Dump the masters exactly as they sit in memory. finishStep
+    // leaves params' values equal to the masters, so the network is
+    // the source of truth here; bytes (not floats) because the
+    // comparison must be bitwise.
+    std::uint32_t crc = 0;
+    std::FILE *out = nullptr;
+    if (!config.mastersOut.empty()) {
+        out = std::fopen(config.mastersOut.c_str(), "wb");
+        CQ_ASSERT_MSG(out != nullptr, "cannot open masters dump %s",
+                      config.mastersOut.c_str());
+    }
+    for (Param *p : net.params()) {
+        const std::size_t bytes = p->value.numel() * sizeof(float);
+        crc = crc32(p->value.data(), bytes, crc);
+        if (out != nullptr) {
+            const std::size_t n =
+                std::fwrite(p->value.data(), 1, bytes, out);
+            CQ_ASSERT_MSG(n == bytes, "short write to %s",
+                          config.mastersOut.c_str());
+        }
+    }
+    if (out != nullptr)
+        std::fclose(out);
+    result.mastersCrc = crc;
+    return result;
+}
+
+} // namespace cq::nn::guard

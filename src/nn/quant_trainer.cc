@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/signal_flag.h"
 
 namespace cq::nn {
 
@@ -36,6 +37,18 @@ QuantTrainer::QuantTrainer(Network &network, QuantTrainerConfig config)
     if (r.enabled) {
         monitor_ = std::make_unique<guard::HealthMonitor>(
             r.guardrails, network_.size());
+        if (!r.checkpointDir.empty()) {
+            guard::CheckpointStoreConfig scfg;
+            scfg.dir = r.checkpointDir;
+            scfg.keep = r.checkpointKeep;
+            scfg.write = r.writeOptions;
+            store_ = std::make_unique<guard::CheckpointStore>(scfg);
+            if (r.asyncCheckpoint) {
+                asyncWriter_ =
+                    std::make_unique<guard::AsyncCheckpointWriter>(
+                        *store_);
+            }
+        }
         if (r.ecc.enabled) {
             masterEcc_.reserve(masters_.size());
             for (Tensor &master : masters_) {
@@ -317,25 +330,43 @@ QuantTrainer::finishStep(double loss)
             monitor_->tripAllLayers();
         rollback();
     }
+    pollShutdown();
     return loss;
+}
+
+bool
+QuantTrainer::checkpointingEnabled() const
+{
+    return store_ != nullptr ||
+           !config_.resilience.checkpointPath.empty();
 }
 
 void
 QuantTrainer::maybeCheckpoint()
 {
     const ResilienceConfig &r = config_.resilience;
-    if (r.checkpointPath.empty() || r.checkpointInterval == 0)
+    if (!checkpointingEnabled() || r.checkpointInterval == 0)
         return;
-    if (step_ == 1 || step_ % r.checkpointInterval == 0)
-        checkpointNow();
+    if (step_ != 1 && step_ % r.checkpointInterval != 0)
+        return;
+    if (asyncWriter_ != nullptr) {
+        // The training thread only pays for the tensor copies here;
+        // serialization, fsync and the manifest commit run on the
+        // writer thread. A still-pending older snapshot is replaced
+        // (latest wins), so a slow disk back-pressures into dropped
+        // intermediate generations, never into a stalled step.
+        asyncWriter_->submit(makeSnapshot());
+        if (monitor_ != nullptr)
+            monitor_->stats().add("guard.checkpointsSubmitted", 1.0);
+        return;
+    }
+    checkpointNow();
 }
 
-bool
-QuantTrainer::checkpointNow()
+guard::TrainerSnapshot
+QuantTrainer::makeSnapshot() const
 {
     const ResilienceConfig &r = config_.resilience;
-    CQ_ASSERT_MSG(!r.checkpointPath.empty(),
-                  "checkpointNow without a checkpoint path");
     guard::TrainerSnapshot snap;
     snap.step = step_;
     snap.optimizerStep = optimizer_.stepCount();
@@ -347,10 +378,35 @@ QuantTrainer::checkpointNow()
     snap.m.reserve(params_.size());
     snap.v.reserve(params_.size());
     for (std::size_t i = 0; i < params_.size(); ++i) {
-        snap.m.push_back(optimizer_.stateM(i));
-        snap.v.push_back(optimizer_.stateV(i));
+        snap.m.push_back(
+            const_cast<Optimizer &>(optimizer_).stateM(i));
+        snap.v.push_back(
+            const_cast<Optimizer &>(optimizer_).stateV(i));
     }
-    const bool ok = guard::writeCheckpoint(r.checkpointPath, snap);
+    return snap;
+}
+
+bool
+QuantTrainer::checkpointNow()
+{
+    const ResilienceConfig &r = config_.resilience;
+    CQ_ASSERT_MSG(checkpointingEnabled(),
+                  "checkpointNow without a checkpoint destination");
+    bool ok;
+    if (store_ != nullptr) {
+        // Synchronous commit: drain in-flight async work first so
+        // this snapshot lands as the newest generation (the final
+        // shutdown checkpoint relies on that ordering).
+        if (asyncWriter_ != nullptr)
+            asyncWriter_->drain();
+        ok = store_->commit(makeSnapshot()) ==
+             guard::CheckpointWriteResult::Ok;
+    } else {
+        ok = guard::writeCheckpointEx(r.checkpointPath,
+                                      makeSnapshot(),
+                                      r.writeOptions) ==
+             guard::CheckpointWriteResult::Ok;
+    }
     if (monitor_ != nullptr)
         monitor_->stats().add(ok ? "guard.checkpointsWritten"
                                  : "guard.checkpointFailures",
@@ -358,31 +414,28 @@ QuantTrainer::checkpointNow()
     return ok;
 }
 
-void
-QuantTrainer::rollback()
+bool
+QuantTrainer::drainCheckpoints()
+{
+    if (asyncWriter_ == nullptr)
+        return true;
+    return asyncWriter_->drain() == guard::CheckpointWriteResult::Ok ||
+           asyncWriter_->committed() > 0;
+}
+
+bool
+QuantTrainer::restoreFromSnapshot(const guard::TrainerSnapshot &snap)
 {
     const ResilienceConfig &r = config_.resilience;
-    if (r.checkpointPath.empty())
-        return;
-    guard::TrainerSnapshot snap;
-    const auto result = guard::readCheckpoint(r.checkpointPath, snap);
-    if (result != guard::CheckpointLoadResult::Ok) {
-        warn("rollback: checkpoint %s unusable (%s)",
-             r.checkpointPath.c_str(),
-             guard::checkpointLoadResultName(result));
-        monitor_->stats().add("guard.rollbackFailures", 1.0);
-        return;
-    }
     if (snap.masters.size() != params_.size()) {
-        warn("rollback: checkpoint has %zu params, trainer has %zu",
+        warn("restore: checkpoint has %zu params, trainer has %zu",
              snap.masters.size(), params_.size());
-        monitor_->stats().add("guard.rollbackFailures", 1.0);
-        return;
+        return false;
     }
     for (std::size_t i = 0; i < params_.size(); ++i) {
         CQ_ASSERT_MSG(snap.masters[i].shape() ==
                           params_[i]->value.shape(),
-                      "rollback: param %zu shape %s != checkpoint %s",
+                      "restore: param %zu shape %s != checkpoint %s",
                       i,
                       shapeToString(params_[i]->value.shape()).c_str(),
                       shapeToString(snap.masters[i].shape()).c_str());
@@ -400,11 +453,115 @@ QuantTrainer::rollback()
     }
     if (snap.hasRngState && r.dataRng != nullptr)
         r.dataRng->setState(snap.rngState);
+    return true;
+}
+
+void
+QuantTrainer::rollback()
+{
+    const ResilienceConfig &r = config_.resilience;
+    if (!checkpointingEnabled())
+        return;
+    guard::TrainerSnapshot snap;
+    if (store_ != nullptr) {
+        // The newest generation may still be in flight on the writer
+        // thread; drain so the rollback sees everything committed.
+        if (asyncWriter_ != nullptr)
+            asyncWriter_->drain();
+        const auto outcome = store_->loadLatest(snap);
+        if (outcome.result != guard::CheckpointLoadResult::Ok) {
+            warn("rollback: no Ok generation in %s (%s, %llu skipped)",
+                 r.checkpointDir.c_str(),
+                 guard::checkpointLoadResultName(outcome.result),
+                 static_cast<unsigned long long>(
+                     outcome.skippedCorrupt));
+            monitor_->stats().add("guard.rollbackFailures", 1.0);
+            return;
+        }
+    } else {
+        const auto result =
+            guard::readCheckpoint(r.checkpointPath, snap);
+        if (result != guard::CheckpointLoadResult::Ok) {
+            warn("rollback: checkpoint %s unusable (%s)",
+                 r.checkpointPath.c_str(),
+                 guard::checkpointLoadResultName(result));
+            monitor_->stats().add("guard.rollbackFailures", 1.0);
+            return;
+        }
+    }
+    if (!restoreFromSnapshot(snap)) {
+        monitor_->stats().add("guard.rollbackFailures", 1.0);
+        return;
+    }
     ++rollbacks_;
     monitor_->stats().add("guard.rollbacks", 1.0);
     inform("rollback: restored step-%llu checkpoint after a guard "
            "trip at step %zu",
            static_cast<unsigned long long>(snap.step), step_);
+}
+
+QuantTrainer::ResumeOutcome
+QuantTrainer::resumeFrom(const std::string &dir)
+{
+    ResumeOutcome out;
+    const ResilienceConfig &r = config_.resilience;
+    const std::string d = dir.empty() ? r.checkpointDir : dir;
+    if (d.empty()) {
+        warn("resume: no checkpoint directory configured");
+        return out;
+    }
+    guard::TrainerSnapshot snap;
+    guard::CheckpointStore::LoadOutcome lo;
+    if (store_ != nullptr && d == r.checkpointDir) {
+        lo = store_->loadLatest(snap);
+    } else {
+        guard::CheckpointStoreConfig scfg;
+        scfg.dir = d;
+        scfg.keep = r.checkpointKeep;
+        guard::CheckpointStore store(scfg);
+        lo = store.loadLatest(snap);
+    }
+    out.skippedCorrupt = lo.skippedCorrupt;
+    if (lo.result != guard::CheckpointLoadResult::Ok) {
+        // Elastic: nothing usable on disk means a cold start, which
+        // replays the run from step 0 — still bit-exact, just slower.
+        inform("resume: no usable generation in %s (%s); cold start",
+               d.c_str(),
+               guard::checkpointLoadResultName(lo.result));
+        return out;
+    }
+    if (!restoreFromSnapshot(snap))
+        return out;
+    step_ = static_cast<std::size_t>(snap.step);
+    stepHealthy_ = true;
+    lastStepDiscarded_ = false;
+    out.resumed = true;
+    out.generation = lo.gen;
+    out.step = snap.step;
+    inform("resume: restored generation %llu (step %llu) from %s%s",
+           static_cast<unsigned long long>(lo.gen),
+           static_cast<unsigned long long>(snap.step), d.c_str(),
+           lo.usedManifest ? "" : " via directory-scan fallback");
+    return out;
+}
+
+void
+QuantTrainer::pollShutdown()
+{
+    if (!config_.resilience.handleSignals || stopRequested_)
+        return;
+    if (!shutdownRequested())
+        return;
+    stopRequested_ = true;
+    if (checkpointingEnabled()) {
+        const bool ok = checkpointNow();
+        inform("shutdown: %s final checkpoint at step %zu",
+               ok ? "wrote" : "FAILED to write", step_);
+    } else {
+        inform("shutdown: stop requested at step %zu (no checkpoint "
+               "destination)",
+               step_);
+    }
 }
 
 StatGroup

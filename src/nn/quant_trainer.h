@@ -29,6 +29,7 @@
 
 #include "dram/ecc.h"
 #include "nn/guard/checkpoint.h"
+#include "nn/guard/ckpt_store.h"
 #include "nn/guard/guardrails.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
@@ -81,8 +82,36 @@ struct ResilienceConfig
     /** False keeps the legacy trainer behaviour (no monitoring). */
     bool enabled = false;
     guard::GuardrailConfig guardrails;
-    /** Checkpoint file; empty disables checkpointing and rollback. */
+    /** Legacy single-file checkpoint; empty disables it. Superseded
+     *  by checkpointDir when both are set. */
     std::string checkpointPath;
+    /**
+     * Generation-store directory (nn/guard/ckpt_store.h): commits are
+     * crash-consistent "ckpt-<gen>.bin" files under a CRC'd manifest
+     * with keep-K retention, and resumeFrom() can restart a killed
+     * run from the newest Ok generation. Empty = use checkpointPath.
+     */
+    std::string checkpointDir;
+    /** Generations kept by the store's retention (>= 1). */
+    std::size_t checkpointKeep = 3;
+    /**
+     * Serialize + fsync + commit on a background writer thread
+     * (guard::AsyncCheckpointWriter): the training thread only copies
+     * tensors at the step boundary. Rollback and the final shutdown
+     * checkpoint drain the writer first. Only honoured with
+     * checkpointDir; the legacy path stays synchronous.
+     */
+    bool asyncCheckpoint = false;
+    /**
+     * Poll cq::shutdownRequested() each step and, when a SIGTERM /
+     * SIGINT arrived, write one final synchronous checkpoint and
+     * report through stopRequested() so the driver loop can exit
+     * cleanly. The handler itself is installed by the caller
+     * (cq::installShutdownSignalHandler()).
+     */
+    bool handleSignals = false;
+    /** Durability + test hooks for every checkpoint write. */
+    guard::CheckpointWriteOptions writeOptions;
     /** Healthy-step interval between checkpoints. */
     std::size_t checkpointInterval = 25;
     /**
@@ -185,8 +214,46 @@ class QuantTrainer
     /** abft.* counters (empty group when ABFT never engaged). */
     const StatGroup &abftStats() const { return abftStats_; }
 
-    /** Write a checkpoint of the current state immediately. */
+    /** Write a checkpoint of the current state immediately. With a
+     *  generation store this is synchronous (drains the async writer
+     *  first), so it is also the final-shutdown checkpoint. */
     bool checkpointNow();
+
+    /** What resumeFrom() found and restored. */
+    struct ResumeOutcome
+    {
+        /** False: no usable generation; the trainer keeps its fresh
+         *  state (an "elastic" cold start, not an error). */
+        bool resumed = false;
+        std::uint64_t generation = 0;
+        /** Trainer step of the restored snapshot. */
+        std::uint64_t step = 0;
+        /** Newer generations skipped as corrupt/missing. */
+        std::uint64_t skippedCorrupt = 0;
+    };
+
+    /**
+     * Elastic resume: scan the generation store at @p dir (default:
+     * the configured checkpointDir) newest-to-oldest, restore the
+     * first Ok snapshot — masters, Adam m/v, step counters, and the
+     * data Rng when one is registered — and continue bit-exactly.
+     * Call before the first training step.
+     */
+    ResumeOutcome resumeFrom(const std::string &dir = "");
+
+    /**
+     * True once a handled SIGTERM/SIGINT was observed at a step
+     * boundary (resilience.handleSignals): the final checkpoint has
+     * been written and the driver loop should stop cleanly.
+     */
+    bool stopRequested() const { return stopRequested_; }
+
+    /** Block until every submitted async checkpoint is committed.
+     *  Returns false when the last commit failed. */
+    bool drainCheckpoints();
+
+    /** The generation store, when checkpointDir is configured. */
+    guard::CheckpointStore *checkpointStore() { return store_.get(); }
 
     /**
      * Merged guard.* / faults.* counters (monitor plus any attached
@@ -210,8 +277,17 @@ class QuantTrainer
     void backwardQuantized(const Tensor &grad);
     /** Checkpoint when the interval policy says so. */
     void maybeCheckpoint();
+    /** Capture the full trainer state into a snapshot. */
+    guard::TrainerSnapshot makeSnapshot() const;
+    /** Restore trainer state from an Ok snapshot (shared by rollback
+     *  and resumeFrom). Returns false on a shape/param mismatch. */
+    bool restoreFromSnapshot(const guard::TrainerSnapshot &snap);
     /** Roll back to the last good checkpoint, if one exists. */
     void rollback();
+    /** Handle a pending SIGTERM/SIGINT at the step boundary. */
+    void pollShutdown();
+    /** True when any checkpoint destination is configured. */
+    bool checkpointingEnabled() const;
     /** Scrub + demand-correct every master; trips on double bits. */
     void correctMastersEcc();
     /** Recompute every master's check bits (after a rewrite). */
@@ -231,9 +307,12 @@ class QuantTrainer
     std::size_t step_ = 0;
 
     std::unique_ptr<guard::HealthMonitor> monitor_;
+    std::unique_ptr<guard::CheckpointStore> store_;
+    std::unique_ptr<guard::AsyncCheckpointWriter> asyncWriter_;
     sim::FaultInjector *faults_ = nullptr;
     bool stepHealthy_ = true;
     bool lastStepDiscarded_ = false;
+    bool stopRequested_ = false;
     std::size_t rollbacks_ = 0;
 
     /** One SEC-DED sideband per master tensor (empty = ECC off). */

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Implementation of the seeded kill-point planner.
+ */
+
+#include "sim/faults/kill_schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace cq::sim {
+
+std::vector<KillPoint>
+planKillPoints(const KillScheduleConfig &config)
+{
+    CQ_ASSERT_MSG(config.kills >= 1, "kill schedule needs >= 1 kill");
+    CQ_ASSERT_MSG(config.maxStep >= 2,
+                  "kill schedule needs maxStep >= 2 so a resumed run "
+                  "still has steps to replay");
+    Rng rng(config.seed);
+    const std::uint64_t stepSpan = config.maxStep - 1;
+
+    // How many mid-write kills: the configured fraction, clamped to
+    // [1, kills] so the acceptance bar's "at least one kill inside a
+    // checkpoint write" always holds.
+    const double frac =
+        std::clamp(config.midWriteFraction, 0.0, 1.0);
+    std::size_t midWrites = static_cast<std::size_t>(
+        frac * static_cast<double>(config.kills) + 0.5);
+    midWrites = std::clamp<std::size_t>(midWrites, 1, config.kills);
+
+    // Spread the mid-write kills over the schedule with a fixed
+    // stride instead of drawing positions: every index set is then a
+    // pure function of (kills, midWrites), and the Rng stream is
+    // spent only on steps/offsets, keeping schedules stable when the
+    // fraction changes.
+    const std::size_t stride = config.kills / midWrites;
+    std::vector<KillPoint> points;
+    points.reserve(config.kills);
+    for (std::size_t i = 0; i < config.kills; ++i) {
+        KillPoint p;
+        p.step = 1 + rng.below(stepSpan);
+        if (stride > 0 && i % stride == 0 &&
+            i / stride < midWrites) {
+            p.midWrite = true;
+            p.writeBytes =
+                rng.below(std::max<std::uint64_t>(
+                    config.maxWriteBytes, 1));
+        }
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace cq::sim

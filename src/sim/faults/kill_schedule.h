@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Seeded kill-point planner for the crash–restart harness.
+ *
+ * The harness (nn/guard/crash_harness.h, tools/cq_crashtest.cc) proves
+ * crash consistency by SIGKILLing a training child at chosen points
+ * and asserting the resumed run is bitwise identical to an
+ * uninterrupted one. For the proof to cover the interesting failure
+ * windows the kill points must (a) be deterministic for a seed, so a
+ * failure reproduces, and (b) include kills *inside* a checkpoint
+ * write, not just between steps. planKillPoints() draws both kinds
+ * from one Rng stream and guarantees at least one mid-write kill in
+ * every schedule.
+ */
+
+#ifndef CQ_SIM_FAULTS_KILL_SCHEDULE_H
+#define CQ_SIM_FAULTS_KILL_SCHEDULE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cq::sim {
+
+/** One planned SIGKILL. */
+struct KillPoint
+{
+    /** Step boundary the kill fires at (1-based, after the step's
+     *  update commits but before any later step runs). For mid-write
+     *  kills this is instead the step from which checkpoint traffic
+     *  starts counting toward writeBytes. */
+    std::uint64_t step = 0;
+    /** True: the kill fires from inside a checkpoint write, after
+     *  writeBytes bytes of cumulative checkpoint I/O. */
+    bool midWrite = false;
+    /** Cumulative checkpoint-stream byte offset for mid-write kills. */
+    std::uint64_t writeBytes = 0;
+};
+
+/** Schedule shape. */
+struct KillScheduleConfig
+{
+    std::uint64_t seed = 1;
+    /** Kill points to plan (>= 1). */
+    std::size_t kills = 20;
+    /** Steps in the full run; kill steps land in [1, maxStep - 1] so
+     *  a resumed child always has work left to do. */
+    std::uint64_t maxStep = 60;
+    /** Fraction of the schedule turned into mid-write kills (at least
+     *  one regardless, per the acceptance bar). */
+    double midWriteFraction = 0.25;
+    /** Upper bound for writeBytes draws. Keep it below one snapshot's
+     *  serialized size so every mid-write kill lands inside a write;
+     *  cumulative counting means later offsets still fire eventually. */
+    std::uint64_t maxWriteBytes = 4096;
+};
+
+/**
+ * Deterministic schedule: same config -> same kill points. Mid-write
+ * kills are spread across the schedule (not bunched at the front) and
+ * at least one is always present when kills >= 1.
+ */
+std::vector<KillPoint> planKillPoints(const KillScheduleConfig &config);
+
+} // namespace cq::sim
+
+#endif // CQ_SIM_FAULTS_KILL_SCHEDULE_H

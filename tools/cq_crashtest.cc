@@ -1,0 +1,389 @@
+/**
+ * @file
+ * cq_crashtest: kill–restart verification driver.
+ *
+ * Proves the checkpoint store's crash-consistency contract end to end:
+ * a training run SIGKILLed at an arbitrary point — including from
+ * inside a checkpoint write — and restarted with elastic resume must
+ * finish with master weights bitwise identical to an uninterrupted
+ * run.
+ *
+ * The driver forks three kinds of children (a kill must never take
+ * the driver down, and SIGKILL cannot be caught):
+ *
+ *   reference:  train seed-deterministically to --steps, dump masters
+ *   kill:       same run, self-SIGKILL at a planned step boundary or
+ *               at a planned cumulative byte offset of checkpoint I/O
+ *   resume:     restart in the killed run's directory with
+ *               --resume semantics, train to --steps, dump masters
+ *
+ * Kill points come from sim::planKillPoints(): seeded, >= 1 of them
+ * mid-write. The driver exits 0 iff every resumed dump matches the
+ * reference dump byte for byte.
+ *
+ * Usage:
+ *   cq_crashtest [--trials N] [--steps N] [--seed S] [--ckpt-every N]
+ *                [--ckpt-keep K] [--mid-write-frac F]
+ *                [--max-write-bytes B] [--slow-write-us U]
+ *                [--dir PATH] [--sync] [--verbose]
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "common/fileutil.h"
+#include "common/threadpool.h"
+#include "nn/guard/crash_harness.h"
+#include "sim/faults/kill_schedule.h"
+
+using namespace cq;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cq_crashtest [--trials N] [--steps N] [--seed S]\n"
+        "                    [--ckpt-every N] [--ckpt-keep K]\n"
+        "                    [--mid-write-frac F] "
+        "[--max-write-bytes B]\n"
+        "                    [--slow-write-us U] [--dir PATH] "
+        "[--sync]\n"
+        "                    [--verbose]\n");
+    std::exit(2);
+}
+
+/** Strict unsigned parse; exits 2 with a one-line error otherwise. */
+std::uint64_t
+parseU64(const std::string &flag, const std::string &text,
+         std::uint64_t lo, std::uint64_t hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0') {
+        std::fprintf(stderr,
+                     "cq_crashtest: %s expects an integer, got '%s'\n",
+                     flag.c_str(), text.c_str());
+        std::exit(2);
+    }
+    if (v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "cq_crashtest: %s=%llu out of range [%llu, "
+                     "%llu]\n",
+                     flag.c_str(), v,
+                     static_cast<unsigned long long>(lo),
+                     static_cast<unsigned long long>(hi));
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+parseFrac(const std::string &flag, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0' || v < 0.0 ||
+        v > 1.0) {
+        std::fprintf(
+            stderr,
+            "cq_crashtest: %s expects a fraction in [0, 1], got "
+            "'%s'\n",
+            flag.c_str(), text.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+/**
+ * Run one harness leg in a forked child. Returns the child's wait
+ * status. The child reinitializes the thread pool (workers do not
+ * survive fork), runs the leg, appends its result to resultPath, and
+ * leaves via _exit so no parent-owned atexit/static state runs twice.
+ */
+int
+runLegInChild(const nn::guard::CrashHarnessConfig &cfg,
+              const std::string &resultPath)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        std::perror("cq_crashtest: fork");
+        std::exit(1);
+    }
+    if (pid == 0) {
+        ThreadPool::instance().reinitAfterFork();
+        const auto r = nn::guard::runCrashHarness(cfg);
+        if (!resultPath.empty()) {
+            std::FILE *f = std::fopen(resultPath.c_str(), "w");
+            if (f == nullptr)
+                ::_exit(4);
+            std::fprintf(f,
+                         "resumed %d gen %llu step %llu skipped %llu "
+                         "stepsRun %llu crc %08x\n",
+                         r.resumed ? 1 : 0,
+                         static_cast<unsigned long long>(
+                             r.resumedGeneration),
+                         static_cast<unsigned long long>(
+                             r.resumedStep),
+                         static_cast<unsigned long long>(
+                             r.skippedCorrupt),
+                         static_cast<unsigned long long>(r.stepsRun),
+                         r.mastersCrc);
+            std::fclose(f);
+        }
+        ::_exit(0);
+    }
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR) {
+            std::perror("cq_crashtest: waitpid");
+            std::exit(1);
+        }
+    }
+    return status;
+}
+
+/** Parsed result.txt of a surviving leg. */
+struct LegResult
+{
+    bool valid = false;
+    int resumed = 0;
+    unsigned long long gen = 0, step = 0, skipped = 0, stepsRun = 0;
+    unsigned crc = 0;
+};
+
+LegResult
+readLegResult(const std::string &path)
+{
+    LegResult r;
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return r;
+    r.valid = std::fscanf(f,
+                          "resumed %d gen %llu step %llu skipped "
+                          "%llu stepsRun %llu crc %x",
+                          &r.resumed, &r.gen, &r.step, &r.skipped,
+                          &r.stepsRun, &r.crc) == 6;
+    std::fclose(f);
+    return r;
+}
+
+bool
+readWholeFile(const std::string &path, std::vector<char> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    out.clear();
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t trials = 20, steps = 60, seed = 1;
+    std::uint64_t ckptEvery = 5, ckptKeep = 3;
+    std::uint64_t maxWriteBytes = 4096, slowWriteUs = 0;
+    double midWriteFrac = 0.25;
+    std::string baseDir;
+    bool sync = false, verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "cq_crashtest: %s expects a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--trials")
+            trials = parseU64(arg, next(), 1, 10000);
+        else if (arg == "--steps")
+            steps = parseU64(arg, next(), 2, 1000000);
+        else if (arg == "--seed")
+            seed = parseU64(arg, next(), 0, UINT64_MAX);
+        else if (arg == "--ckpt-every")
+            ckptEvery = parseU64(arg, next(), 1, 1000000);
+        else if (arg == "--ckpt-keep")
+            ckptKeep = parseU64(arg, next(), 1, 1000);
+        else if (arg == "--mid-write-frac")
+            midWriteFrac = parseFrac(arg, next());
+        else if (arg == "--max-write-bytes")
+            maxWriteBytes = parseU64(arg, next(), 1, 1ull << 30);
+        else if (arg == "--slow-write-us")
+            slowWriteUs = parseU64(arg, next(), 0, 1000000);
+        else if (arg == "--dir")
+            baseDir = next();
+        else if (arg == "--sync")
+            sync = true;
+        else if (arg == "--verbose")
+            verbose = true;
+        else if (arg == "--help")
+            usage();
+        else {
+            std::fprintf(stderr,
+                         "cq_crashtest: unknown flag '%s' (see "
+                         "--help)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+
+    if (baseDir.empty()) {
+        char tmpl[] = "/tmp/cq-crashtest-XXXXXX";
+        if (::mkdtemp(tmpl) == nullptr) {
+            std::perror("cq_crashtest: mkdtemp");
+            return 1;
+        }
+        baseDir = tmpl;
+    } else if (!ensureDir(baseDir)) {
+        std::fprintf(stderr, "cq_crashtest: cannot create '%s'\n",
+                     baseDir.c_str());
+        return 1;
+    }
+
+    nn::guard::CrashHarnessConfig base;
+    base.seed = seed + 100; // model/data seed, distinct from schedule
+    base.steps = steps;
+    base.ckptEvery = ckptEvery;
+    base.ckptKeep = static_cast<std::size_t>(ckptKeep);
+    base.asyncCheckpoint = !sync;
+    base.slowWriteMicros = static_cast<unsigned>(slowWriteUs);
+
+    // Reference leg: the uninterrupted run every trial compares to.
+    const std::string refMasters = baseDir + "/ref-masters.bin";
+    {
+        nn::guard::CrashHarnessConfig ref = base;
+        ref.dir = baseDir + "/ref";
+        ref.mastersOut = refMasters;
+        const int status =
+            runLegInChild(ref, baseDir + "/ref-result.txt");
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            std::fprintf(stderr,
+                         "cq_crashtest: reference leg failed "
+                         "(status %d)\n",
+                         status);
+            return 1;
+        }
+    }
+    std::vector<char> refBytes;
+    if (!readWholeFile(refMasters, refBytes) || refBytes.empty()) {
+        std::fprintf(stderr,
+                     "cq_crashtest: reference masters dump missing\n");
+        return 1;
+    }
+
+    sim::KillScheduleConfig scfg;
+    scfg.seed = seed;
+    scfg.kills = static_cast<std::size_t>(trials);
+    scfg.maxStep = steps;
+    scfg.midWriteFraction = midWriteFrac;
+    scfg.maxWriteBytes = maxWriteBytes;
+    const auto plan = sim::planKillPoints(scfg);
+
+    std::printf("cq_crashtest: %llu trials, %llu steps, ckpt every "
+                "%llu keep %llu, %s commits, CQ_THREADS=%s\n",
+                static_cast<unsigned long long>(trials),
+                static_cast<unsigned long long>(steps),
+                static_cast<unsigned long long>(ckptEvery),
+                static_cast<unsigned long long>(ckptKeep),
+                sync ? "sync" : "async",
+                std::getenv("CQ_THREADS") ? std::getenv("CQ_THREADS")
+                                          : "(default)");
+    std::printf("%-6s %-22s %-10s %-12s %-8s %s\n", "trial", "kill",
+                "killed", "resumed-gen", "steps", "verdict");
+
+    std::size_t failures = 0;
+    for (std::size_t t = 0; t < plan.size(); ++t) {
+        const auto &kp = plan[t];
+        char trialName[32];
+        std::snprintf(trialName, sizeof trialName, "trial-%03zu", t);
+        const std::string dir = baseDir + "/" + trialName;
+
+        nn::guard::CrashHarnessConfig kill = base;
+        kill.dir = dir;
+        if (kp.midWrite)
+            kill.killAtWriteBytes = kp.writeBytes + 1;
+        else
+            kill.killAtStep = kp.step;
+        const int killStatus = runLegInChild(kill, "");
+        const bool killed = WIFSIGNALED(killStatus) &&
+                            WTERMSIG(killStatus) == SIGKILL;
+
+        nn::guard::CrashHarnessConfig res = base;
+        res.dir = dir;
+        res.resume = true;
+        res.mastersOut = dir + "/masters.bin";
+        const std::string resultPath = dir + "/result.txt";
+        const int resStatus = runLegInChild(res, resultPath);
+        const bool resOk =
+            WIFEXITED(resStatus) && WEXITSTATUS(resStatus) == 0;
+
+        std::vector<char> gotBytes;
+        const bool match =
+            resOk && readWholeFile(res.mastersOut, gotBytes) &&
+            gotBytes.size() == refBytes.size() &&
+            std::memcmp(gotBytes.data(), refBytes.data(),
+                        refBytes.size()) == 0;
+        const LegResult lr = readLegResult(resultPath);
+
+        char killDesc[48];
+        if (kp.midWrite)
+            std::snprintf(killDesc, sizeof killDesc,
+                          "mid-write @%llu B",
+                          static_cast<unsigned long long>(
+                              kp.writeBytes + 1));
+        else
+            std::snprintf(killDesc, sizeof killDesc, "step %llu",
+                          static_cast<unsigned long long>(kp.step));
+        char genDesc[24];
+        if (lr.valid && lr.resumed)
+            std::snprintf(genDesc, sizeof genDesc, "%llu", lr.gen);
+        else
+            std::snprintf(genDesc, sizeof genDesc, "cold");
+        std::printf("%-6zu %-22s %-10s %-12s %-8llu %s\n", t,
+                    killDesc, killed ? "SIGKILL" : "no",
+                    genDesc, lr.valid ? lr.stepsRun : 0ull,
+                    match ? "bitwise-identical" : "MISMATCH");
+        if (verbose && lr.valid)
+            std::printf(
+                "       resumed-step %llu skipped-corrupt %llu crc "
+                "%08x\n",
+                lr.step, lr.skipped, lr.crc);
+        if (!match)
+            ++failures;
+    }
+
+    if (failures == 0) {
+        std::printf("cq_crashtest: all %zu resumed runs bitwise "
+                    "identical to the uninterrupted run\n",
+                    plan.size());
+        return 0;
+    }
+    std::fprintf(stderr, "cq_crashtest: %zu/%zu trials FAILED\n",
+                 failures, plan.size());
+    return 1;
+}

@@ -7,13 +7,22 @@
  * training minibatch, printing time, energy, phase/unit breakdowns
  * and (optionally) the per-instruction trace or disassembly.
  *
+ * A third mode actually trains: --train spiral runs the quantized
+ * spiral-MLP workload under the crash-consistent generation store,
+ * with elastic resume (--resume) and clean SIGTERM/SIGINT shutdown
+ * (final synchronous checkpoint, then exit 0).
+ *
  * Usage:
  *   cqsim --network resnet18 [--target cq|cq-nondp|cq-t|cq-v|tpu]
  *         [--bits 4|8|12|16] [--optimizer sgd|adagrad|rmsprop|adam]
  *         [--batch N] [--stats] [--disasm N] [--trace]
  *   cqsim --gemm m,n,k [--target ...] [--bits ...]
+ *   cqsim --train spiral [--steps N] [--seed S] [--ckpt-dir D]
+ *         [--ckpt-every N] [--ckpt-keep K] [--resume D]
+ *         [--sync-ckpt] [--masters-out F]
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,26 +30,147 @@
 
 #include "arch/accelerator.h"
 #include "baseline/tpu_sim.h"
+#include "common/signal_flag.h"
 #include "compiler/codegen.h"
 #include "compiler/workloads.h"
+#include "nn/guard/crash_harness.h"
 
 using namespace cq;
 
 namespace {
 
 void
-usage()
+printUsage(std::FILE *to)
 {
     std::fprintf(
-        stderr,
+        to,
         "usage: cqsim --network "
         "<alexnet|resnet18|googlenet|squeezenet|transformer|lstm|tiny>\n"
         "             [--target cq|cq-nondp|cq-t|cq-v|tpu] [--bits B]\n"
         "             [--optimizer sgd|adagrad|rmsprop|adam] "
         "[--batch N]\n"
         "             [--stats] [--disasm N] [--trace]\n"
-        "       cqsim --gemm m,n,k [options]\n");
+        "       cqsim --gemm m,n,k [options]\n"
+        "       cqsim --train spiral [--steps N] [--seed S]\n"
+        "             [--ckpt-dir D] [--ckpt-every N] [--ckpt-keep "
+        "K]\n"
+        "             [--resume D] [--sync-ckpt] [--masters-out F]\n");
+}
+
+void
+usage()
+{
+    printUsage(stderr);
     std::exit(2);
+}
+
+/** Strict unsigned parse; one-line error + exit 2 otherwise. */
+std::uint64_t
+parseU64(const std::string &flag, const std::string &text,
+         std::uint64_t lo, std::uint64_t hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0') {
+        std::fprintf(stderr,
+                     "cqsim: %s expects an integer, got '%s'\n",
+                     flag.c_str(), text.c_str());
+        std::exit(2);
+    }
+    if (v < lo || v > hi) {
+        std::fprintf(
+            stderr, "cqsim: %s=%llu out of range [%llu, %llu]\n",
+            flag.c_str(), v, static_cast<unsigned long long>(lo),
+            static_cast<unsigned long long>(hi));
+        std::exit(2);
+    }
+    return v;
+}
+
+/** The --train mode: real quantized training with the generation
+ *  store, elastic resume and clean signal shutdown. */
+struct TrainArgs
+{
+    std::string task;
+    std::uint64_t steps = 60;
+    std::uint64_t seed = 17;
+    std::string ckptDir;
+    std::uint64_t ckptEvery = 5;
+    std::uint64_t ckptKeep = 3;
+    std::string resumeDir;
+    bool syncCkpt = false;
+    std::string mastersOut;
+};
+
+int
+runTrain(const TrainArgs &a)
+{
+    if (a.task != "spiral") {
+        std::fprintf(stderr,
+                     "cqsim: unknown --train task '%s' (supported: "
+                     "spiral)\n",
+                     a.task.c_str());
+        return 2;
+    }
+    if (a.ckptDir.empty() && a.resumeDir.empty() &&
+        a.mastersOut.empty()) {
+        std::fprintf(stderr,
+                     "cqsim: --train needs --ckpt-dir, --resume or "
+                     "--masters-out (nothing would be persisted)\n");
+        return 2;
+    }
+
+    nn::guard::CrashHarnessConfig cfg;
+    cfg.seed = a.seed;
+    cfg.steps = a.steps;
+    cfg.dir = a.ckptDir.empty() ? a.resumeDir : a.ckptDir;
+    cfg.ckptEvery = a.ckptEvery;
+    cfg.ckptKeep = static_cast<std::size_t>(a.ckptKeep);
+    cfg.asyncCheckpoint = !a.syncCkpt;
+    cfg.resume = !a.resumeDir.empty();
+    cfg.resumeDir = a.resumeDir;
+    cfg.handleSignals = true;
+    cfg.mastersOut = a.mastersOut;
+
+    installShutdownSignalHandler();
+
+    std::printf("train:     spiral MLP, steps %llu, seed %llu\n",
+                static_cast<unsigned long long>(a.steps),
+                static_cast<unsigned long long>(a.seed));
+    if (!cfg.dir.empty())
+        std::printf("ckpt:      dir %s, every %llu, keep %llu, %s\n",
+                    cfg.dir.c_str(),
+                    static_cast<unsigned long long>(a.ckptEvery),
+                    static_cast<unsigned long long>(a.ckptKeep),
+                    cfg.asyncCheckpoint ? "async" : "sync");
+
+    const auto r = nn::guard::runCrashHarness(cfg);
+
+    if (cfg.resume) {
+        if (r.resumed)
+            std::printf("resume:    generation %llu at step %llu "
+                        "(%llu corrupt generations skipped)\n",
+                        static_cast<unsigned long long>(
+                            r.resumedGeneration),
+                        static_cast<unsigned long long>(
+                            r.resumedStep),
+                        static_cast<unsigned long long>(
+                            r.skippedCorrupt));
+        else
+            std::printf("resume:    cold start (no usable "
+                        "generation in %s)\n",
+                        a.resumeDir.c_str());
+    }
+    std::printf("result:    %llu steps run, final loss %.6f, "
+                "masters crc %08x\n",
+                static_cast<unsigned long long>(r.stepsRun),
+                r.finalLoss, r.mastersCrc);
+    if (r.stopRequested)
+        std::printf("shutdown:  signal handled; final checkpoint "
+                    "committed before exit\n");
+    return 0;
 }
 
 compiler::WorkloadIR
@@ -94,12 +224,16 @@ main(int argc, char **argv)
     int bits = 8;
     std::size_t batch = 0, disasm = 0;
     bool stats = false, trace = false;
+    TrainArgs train;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                usage();
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "cqsim: %s expects a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
             return argv[++i];
         };
         if (arg == "--network")
@@ -109,22 +243,58 @@ main(int argc, char **argv)
         else if (arg == "--target")
             target = next();
         else if (arg == "--bits")
-            bits = std::atoi(next().c_str());
+            bits = static_cast<int>(parseU64(arg, next(), 1, 64));
         else if (arg == "--optimizer")
             optimizer = next();
         else if (arg == "--batch")
-            batch = std::strtoul(next().c_str(), nullptr, 10);
+            batch = static_cast<std::size_t>(
+                parseU64(arg, next(), 1, 1u << 20));
         else if (arg == "--disasm")
-            disasm = std::strtoul(next().c_str(), nullptr, 10);
+            disasm = static_cast<std::size_t>(
+                parseU64(arg, next(), 1, 1u << 24));
         else if (arg == "--stats")
             stats = true;
         else if (arg == "--trace")
             trace = true;
-        else
-            usage();
+        else if (arg == "--train")
+            train.task = next();
+        else if (arg == "--steps")
+            train.steps = parseU64(arg, next(), 1, 1000000);
+        else if (arg == "--seed")
+            train.seed = parseU64(arg, next(), 0, UINT64_MAX);
+        else if (arg == "--ckpt-dir")
+            train.ckptDir = next();
+        else if (arg == "--ckpt-every")
+            train.ckptEvery = parseU64(arg, next(), 1, 1000000);
+        else if (arg == "--ckpt-keep")
+            train.ckptKeep = parseU64(arg, next(), 1, 1000);
+        else if (arg == "--resume")
+            train.resumeDir = next();
+        else if (arg == "--sync-ckpt")
+            train.syncCkpt = true;
+        else if (arg == "--masters-out")
+            train.mastersOut = next();
+        else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "cqsim: unknown flag '%s' (see --help)\n",
+                         arg.c_str());
+            return 2;
+        }
     }
-    if (network.empty() == gemm.empty())
-        usage(); // exactly one of --network / --gemm
+    const int modes = (network.empty() ? 0 : 1) +
+                      (gemm.empty() ? 0 : 1) +
+                      (train.task.empty() ? 0 : 1);
+    if (modes != 1) {
+        std::fprintf(stderr,
+                     "cqsim: pick exactly one of --network / --gemm "
+                     "/ --train\n");
+        return 2;
+    }
+    if (!train.task.empty())
+        return runTrain(train);
 
     const compiler::WorkloadIR ir =
         gemm.empty() ? pickWorkload(network, batch)
