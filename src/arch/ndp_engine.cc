@@ -6,6 +6,8 @@
 #include "arch/ndp_engine.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cq::arch {
 
@@ -38,6 +40,13 @@ NdpEngine::weightGradientStore(std::vector<float> &weights,
 {
     CQ_ASSERT_MSG(configured_,
                   "WGSTORE before CROSET configured the NDPO");
+    CQ_TRACE_SCOPE("ndp.rmw");
+    static obs::Counter &updates =
+        obs::MetricRegistry::instance().counter("ndp.updates");
+    static obs::Counter &elements =
+        obs::MetricRegistry::instance().counter("ndp.elements");
+    updates.inc();
+    elements.add(static_cast<double>(gradients.size()));
     CQ_ASSERT_MSG(weights.size() == gradients.size() &&
                       m.size() == weights.size() &&
                       v.size() == weights.size(),

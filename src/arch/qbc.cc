@@ -6,6 +6,7 @@
 #include "arch/qbc.h"
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace cq::arch {
 
@@ -49,6 +50,9 @@ Qbc::writeWord(std::size_t line_idx, std::size_t word_idx,
     // determine the Max Tag (larger scale covers the wider range),
     // requantize everything to it and flush back.
     ++requants_;
+    static obs::Counter &requants =
+        obs::MetricRegistry::instance().counter("qbc.requants");
+    requants.inc();
     const quant::IntFormat max_tag =
         tag.scale >= line.tag.scale ? tag : line.tag;
 

@@ -12,6 +12,8 @@
 #include "arch/pe_array.h"
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/qformat.h"
 #include "quant/statistics.h"
 
@@ -180,21 +182,35 @@ quantizedMatmul(const Tensor &a, const Tensor &b,
     CQ_ASSERT(b.dim(0) == k);
     CQ_ASSERT(options.blockK > 0);
 
+    CQ_TRACE_SCOPE("gemm.quantized");
+    static obs::Counter &gemmCalls =
+        obs::MetricRegistry::instance().counter("gemm.quantized_calls");
+    static obs::Counter &gemmMacs =
+        obs::MetricRegistry::instance().counter("gemm.quantized_macs");
+    gemmCalls.inc();
+    gemmMacs.add(static_cast<double>(m) * static_cast<double>(k) *
+                 static_cast<double>(n));
+
     // Quantize every A row and B column segment-wise (what the SQU
     // produces into NBin/SB, with QBC tags per line). Rows and
     // columns are quantized independently of each other.
     std::vector<SegmentedVector> rows(m);
-    parallelFor(0, m, 1, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t i = lo; i < hi; ++i)
-            rows[i] = quantizeSegments(a.data() + i * k, k, 1,
-                                       options.blockK, options.bits);
-    });
     std::vector<SegmentedVector> cols(n);
-    parallelFor(0, n, 1, [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t j = lo; j < hi; ++j)
-            cols[j] = quantizeSegments(b.data() + j, k, n,
-                                       options.blockK, options.bits);
-    });
+    {
+        CQ_TRACE_SCOPE("squ.quantize");
+        parallelFor(0, m, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                rows[i] = quantizeSegments(a.data() + i * k, k, 1,
+                                           options.blockK,
+                                           options.bits);
+        });
+        parallelFor(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t j = lo; j < hi; ++j)
+                cols[j] = quantizeSegments(b.data() + j, k, n,
+                                           options.blockK,
+                                           options.bits);
+        });
+    }
 
     Tensor c({m, n});
     // Output rows are independent; the per-element segment

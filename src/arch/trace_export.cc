@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Implementation of the PerfReport -> trace session bridge.
+ */
+
+#include "arch/trace_export.h"
+
+#include <string>
+
+namespace cq::arch {
+
+std::size_t
+exportPerfTraceToSession(const PerfReport &report, double freq_ghz,
+                         obs::TraceSession &session)
+{
+    // Ticks are cycles; at freq_ghz GHz one cycle is 1/freq_ghz ns,
+    // so tick -> us divides by (freq_ghz * 1000).
+    const double ticksPerUs = freq_ghz * 1000.0;
+    std::size_t exported = 0;
+    for (const TraceEntry &e : report.trace) {
+        obs::ExternalSpan span;
+        span.name = phaseName(e.phase);
+        span.track = std::string("arch.") + unitName(e.unit);
+        span.tsUs = static_cast<double>(e.start) / ticksPerUs;
+        span.durUs = static_cast<double>(e.end - e.start) / ticksPerUs;
+        span.args.emplace_back("instr", static_cast<double>(e.instr));
+        session.addExternalSpan(std::move(span));
+        ++exported;
+    }
+    return exported;
+}
+
+} // namespace cq::arch

@@ -1,12 +1,29 @@
 /**
  * @file
  * Implementation of logging helpers.
+ *
+ * Every line carries an ISO-8601 UTC timestamp (millisecond
+ * resolution) and the small sequential id of the emitting thread, so
+ * interleaved output from pool workers stays attributable:
+ *
+ *     [2026-01-01T12:00:00.123Z t0 warn] message
+ *
+ * Setting CQ_LOG_JSONL=FILE additionally appends one JSON object per
+ * log line ({"ts":...,"tid":...,"level":...,"msg":...}) to FILE, so
+ * log records can be joined against telemetry JSONL with line tools.
  */
 
 #include "common/logging.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <mutex>
+#include <string>
+
+#include "obs/jsonw.h"
+#include "obs/trace.h"
 
 namespace cq {
 
@@ -24,13 +41,78 @@ levelPrefix(LogLevel level)
     return "?";
 }
 
+/** "2026-01-01T12:00:00.123Z" into @p buf (>= 64 bytes). */
+void
+formatUtcTimestamp(char *buf, std::size_t size)
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            now.time_since_epoch())
+            .count() %
+        1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    std::snprintf(buf, size, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(ms));
+}
+
+/** Lazily opened CQ_LOG_JSONL sink. Guarded by a mutex: log volume is
+ *  low, contention does not matter. */
+std::FILE *
+jsonlSink()
+{
+    static std::once_flag once;
+    static std::FILE *sink = nullptr;
+    std::call_once(once, [] {
+        if (const char *path = std::getenv("CQ_LOG_JSONL")) {
+            if (path[0] != '\0') {
+                sink = std::fopen(path, "ab");
+                if (sink == nullptr)
+                    std::fprintf(stderr,
+                                 "[warn] log: cannot open "
+                                 "CQ_LOG_JSONL=%s\n",
+                                 path);
+            }
+        }
+    });
+    return sink;
+}
+
 void
 vlogMessage(LogLevel level, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "[%s] ", levelPrefix(level));
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    char stamp[64];
+    formatUtcTimestamp(stamp, sizeof(stamp));
+    const std::uint32_t tid = obs::currentThreadId();
+
+    char msg[2048];
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+
+    std::fprintf(stderr, "[%s t%u %s] %s\n", stamp, tid,
+                 levelPrefix(level), msg);
     std::fflush(stderr);
+
+    if (std::FILE *sink = jsonlSink()) {
+        std::string line;
+        line.reserve(128);
+        line += "{\"ts\":";
+        obs::appendJsonString(line, stamp);
+        line += ",\"tid\":";
+        line += std::to_string(tid);
+        line += ",\"level\":";
+        obs::appendJsonString(line, levelPrefix(level));
+        line += ",\"msg\":";
+        obs::appendJsonString(line, msg);
+        line += "}\n";
+        static std::mutex sinkMutex;
+        std::lock_guard<std::mutex> lock(sinkMutex);
+        std::fwrite(line.data(), 1, line.size(), sink);
+        std::fflush(sink);
+    }
 }
 
 } // namespace

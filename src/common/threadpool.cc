@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace cq {
 
@@ -81,6 +82,7 @@ struct ThreadPool::State
         const std::size_t lo = begin + chunk * chunkSize;
         const std::size_t hi = std::min(end, lo + chunkSize);
         try {
+            CQ_TRACE_SCOPE("pool.chunk");
             (*fn)(lo, hi);
         } catch (...) {
             // Keep the exception of the lowest-indexed throwing chunk,

@@ -14,6 +14,8 @@
 
 #include "common/fileutil.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cq::nn::guard {
 
@@ -320,6 +322,17 @@ CheckpointStore::publishAndClean(const std::vector<ManifestEntry> &kept)
 CheckpointWriteResult
 CheckpointStore::commit(const TrainerSnapshot &snap)
 {
+    // Commit latency covers the full serialize/fsync/publish ladder,
+    // whether the caller is the training thread (sync) or the async
+    // writer thread.
+    CQ_TRACE_SCOPE("ckpt.commit");
+    static obs::Counter &commits =
+        obs::MetricRegistry::instance().counter("ckpt.commits");
+    static obs::Histogram &latency =
+        obs::MetricRegistry::instance().histogram(
+            "ckpt.commit_latency_us");
+    commits.inc();
+    obs::ScopedLatencyTimer latencyTimer(latency);
     if (!ensureDir(config_.dir)) {
         warn("ckpt-store: cannot create directory %s",
              config_.dir.c_str());
@@ -422,6 +435,8 @@ AsyncCheckpointWriter::rethrowPendingErrorLocked()
 void
 AsyncCheckpointWriter::submit(TrainerSnapshot snap)
 {
+    static obs::Gauge &depth =
+        obs::MetricRegistry::instance().gauge("ckpt.queue_depth");
     {
         std::lock_guard<std::mutex> lock(mutex_);
         rethrowPendingErrorLocked();
@@ -429,6 +444,8 @@ AsyncCheckpointWriter::submit(TrainerSnapshot snap)
             ++dropped_; // latest wins: replace the waiting snapshot
         pending_ = std::move(snap);
         hasPending_ = true;
+        depth.set(static_cast<double>((hasPending_ ? 1 : 0) +
+                                      (busy_ ? 1 : 0)));
     }
     wake_.notify_one();
 }
@@ -483,6 +500,10 @@ AsyncCheckpointWriter::writerLoop()
             }
             lock.lock();
             busy_ = false;
+            static obs::Gauge &depth =
+                obs::MetricRegistry::instance().gauge(
+                    "ckpt.queue_depth");
+            depth.set(hasPending_ ? 1.0 : 0.0);
             if (err) {
                 error_ = err;
             } else {

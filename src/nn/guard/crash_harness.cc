@@ -17,6 +17,10 @@
 #include "nn/linear.h"
 #include "nn/network.h"
 #include "nn/quant_trainer.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "sim/faults/fault_injector.h"
 
 namespace cq::nn::guard {
 
@@ -49,6 +53,8 @@ runCrashHarness(const CrashHarnessConfig &config)
     cfg.optimizer.kind = OptimizerKind::Adam;
     cfg.optimizer.lr = 5e-3;
     cfg.resilience.enabled = true;
+    cfg.resilience.ecc.enabled = config.ecc;
+    cfg.resilience.abft.enabled = config.abft;
     cfg.resilience.checkpointDir = config.dir;
     cfg.resilience.checkpointKeep = config.ckptKeep;
     cfg.resilience.checkpointInterval =
@@ -76,6 +82,33 @@ runCrashHarness(const CrashHarnessConfig &config)
 
     QuantTrainer trainer(net, cfg);
 
+    // Observability wiring. Everything here is observational output:
+    // the trained weights are bitwise identical with or without it.
+    if (!config.traceOut.empty())
+        obs::TraceSession::instance().setEnabled(true);
+    std::unique_ptr<obs::JsonlTelemetrySink> telemetry;
+    if (!config.telemetryOut.empty()) {
+        telemetry = std::make_unique<obs::JsonlTelemetrySink>(
+            config.telemetryOut);
+        trainer.setTelemetrySink(telemetry.get());
+    }
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (config.faultFlipsPerMbit > 0.0) {
+        sim::FaultConfig fcfg;
+        fcfg.seed = config.seed + 0xFA17;
+        fcfg.bitFlipsPerMbit = config.faultFlipsPerMbit;
+        fcfg.targetMasterWeights = true;
+        fcfg.targetGradients = true;
+        fcfg.targetAccumulators = true;
+        injector = std::make_unique<sim::FaultInjector>(fcfg);
+        trainer.setFaultInjector(injector.get());
+    }
+    const auto writeMetrics = [&] {
+        const StatGroup rs = trainer.resilienceStats();
+        obs::MetricRegistry::instance().writeProm(config.metricsOut,
+                                                  {&rs});
+    };
+
     if (config.resume) {
         const auto ro = trainer.resumeFrom(
             config.resumeDir.empty() ? config.dir
@@ -91,6 +124,10 @@ runCrashHarness(const CrashHarnessConfig &config)
         result.finalLoss =
             trainer.stepClassification(batch.inputs, batch.labels);
         ++result.stepsRun;
+        if (!config.metricsOut.empty() && config.metricsEvery > 0 &&
+            trainer.stepCount() % config.metricsEvery == 0) {
+            writeMetrics();
+        }
         if (config.killAtStep != 0 &&
             trainer.stepCount() >= config.killAtStep) {
             // The step's update (and its checkpoint submit) is done;
@@ -103,6 +140,12 @@ runCrashHarness(const CrashHarnessConfig &config)
         }
     }
     trainer.drainCheckpoints();
+    trainer.setTelemetrySink(nullptr);
+
+    if (!config.metricsOut.empty())
+        writeMetrics();
+    if (!config.traceOut.empty())
+        obs::TraceSession::instance().writeChromeTrace(config.traceOut);
 
     // Dump the masters exactly as they sit in memory. finishStep
     // leaves params' values equal to the masters, so the network is

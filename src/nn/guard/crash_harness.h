@@ -73,6 +73,31 @@ struct CrashHarnessConfig
 
     /** Dump the final master weights' raw bytes here (empty = skip). */
     std::string mastersOut;
+
+    /** @name In-situ correction + fault injection (bench/CI smoke) */
+    /** @{ */
+    /** SEC-DED ECC sidebands over the master tensors. */
+    bool ecc = false;
+    /** ABFT checksum verification on every GEMM. */
+    bool abft = false;
+    /** Fault injection rate in bit flips per Mbit per step over the
+     *  master weights, gradients and accumulators (0 = no injector). */
+    double faultFlipsPerMbit = 0.0;
+    /** @} */
+
+    /** @name Observability outputs (empty = off) */
+    /** @{ */
+    /** Chrome trace-event JSON of the whole leg (Perfetto-loadable).
+     *  Setting this enables span recording for the leg. */
+    std::string traceOut;
+    /** Prometheus text metrics snapshot, bridged with the trainer's
+     *  resilience counters (faults.* / ecc.* / abft.* / guard.*). */
+    std::string metricsOut;
+    /** Per-step JSONL telemetry (obs::JsonlTelemetrySink). */
+    std::string telemetryOut;
+    /** Rewrite metricsOut every N steps (0 = only at the end). */
+    std::uint64_t metricsEvery = 0;
+    /** @} */
 };
 
 /** What a (surviving) leg observed. */

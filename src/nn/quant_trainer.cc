@@ -5,12 +5,43 @@
 
 #include "nn/quant_trainer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
 #include "common/signal_flag.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cq::nn {
+
+namespace {
+
+/** RAII wall-clock accumulator for the telemetry phase breakdown.
+ *  Observational only: the measured time never feeds back into
+ *  training state. */
+class PhaseTimer
+{
+  public:
+    explicit PhaseTimer(double &acc_us)
+        : acc_(acc_us), startNs_(obs::detail::monotonicNowNs())
+    {
+    }
+    ~PhaseTimer()
+    {
+        acc_ += static_cast<double>(obs::detail::monotonicNowNs() -
+                                    startNs_) /
+                1000.0;
+    }
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+  private:
+    double &acc_;
+    std::uint64_t startNs_;
+};
+
+} // namespace
 
 QuantTrainer::QuantTrainer(Network &network, QuantTrainerConfig config)
     : network_(network),
@@ -135,6 +166,8 @@ void
 QuantTrainer::loadQuantizedWeights()
 {
     using quant::TensorRole;
+    CQ_TRACE_SCOPE("trainer.quant");
+    PhaseTimer timer(phaseQuantUs_);
     for (std::size_t i = 0; i < params_.size(); ++i) {
         // Masters hold the authoritative FP32 weights (DRAM side);
         // the network computes on the quantized copies the SQU would
@@ -143,10 +176,28 @@ QuantTrainer::loadQuantizedWeights()
         const bool bypass =
             monitor_ != nullptr &&
             monitor_->breakers().open(layerOfParam_[i]);
+        quant::PolicyApplyInfo applyInfo;
+        quant::PolicyApplyInfo *info =
+            telemetrySink_ != nullptr && !bypass ? &applyInfo
+                                                 : nullptr;
         params_[i]->value =
             bypass ? masters_[i]
                    : quant::applyPolicy(masters_[i], config_.algorithm,
-                                        TensorRole::Weight);
+                                        TensorRole::Weight, info);
+        if (info != nullptr) {
+            auto &tally =
+                stepFormats_[network_.layer(layerOfParam_[i]).name()];
+            for (const auto &kv : applyInfo.bitsTally)
+                tally[kv.first] += kv.second;
+            stepRmseSum_ += applyInfo.rmse;
+            stepRmseMax_ = std::max(stepRmseMax_, applyInfo.rmse);
+            ++stepRmseCount_;
+        } else if (bypass && telemetrySink_ != nullptr) {
+            // Open breaker: the layer ran on FP32 masters verbatim;
+            // report that as a 32-bit "format" so the telemetry shows
+            // the breaker engaging rather than omitting the layer.
+            ++stepFormats_[network_.layer(layerOfParam_[i]).name()][32];
+        }
         if (faults_ != nullptr) {
             faults_->maybeCorrupt(params_[i]->value.data(),
                                   params_[i]->value.numel(),
@@ -166,6 +217,8 @@ Tensor
 QuantTrainer::forwardQuantized(const Tensor &inputs)
 {
     using quant::TensorRole;
+    CQ_TRACE_SCOPE("trainer.fwd");
+    PhaseTimer timer(phaseFwdUs_);
     const bool quantizes =
         config_.algorithm.policyFor(TensorRole::Activation).quantize;
     const bool scans =
@@ -197,6 +250,8 @@ void
 QuantTrainer::backwardQuantized(const Tensor &grad)
 {
     using quant::TensorRole;
+    CQ_TRACE_SCOPE("trainer.bwd");
+    PhaseTimer timer(phaseBwdUs_);
     const bool quantizes =
         config_.algorithm.policyFor(TensorRole::NeuronGradient)
             .quantize;
@@ -233,6 +288,13 @@ QuantTrainer::beginStep()
     ++step_;
     stepHealthy_ = true;
     lastStepDiscarded_ = false;
+    // Telemetry scratch for the step (observational only).
+    stepStartNs_ = obs::detail::monotonicNowNs();
+    phaseFwdUs_ = phaseBwdUs_ = phaseQuantUs_ = 0.0;
+    phaseOptimUs_ = phaseCkptUs_ = 0.0;
+    stepFormats_.clear();
+    stepRmseSum_ = stepRmseMax_ = 0.0;
+    stepRmseCount_ = 0;
     network_.zeroGrads();
     if (faults_ != nullptr) {
         // Upsets that struck the DRAM-resident master rows since the
@@ -305,21 +367,40 @@ QuantTrainer::finishStep(double loss)
         monitor_->stats().add("guard.abftEscalatedSteps", 1.0);
     }
 
+    // Extra read-only pass for telemetry: max |dW| as the optimizer
+    // is about to consume it. Skipped entirely without a sink.
+    double gradMaxAbs = 0.0;
+    if (telemetrySink_ != nullptr) {
+        for (const Param *p : params_)
+            gradMaxAbs = std::max(
+                gradMaxAbs,
+                static_cast<double>(p->grad.maxAbs()));
+    }
+
     if (monitor_ == nullptr || stepHealthy_) {
         // Weight gradients stay FP32 (every algorithm's "special
         // case"); the optimizer updates the masters, which is the
         // computation the NDP engine performs in place.
-        optimizer_.step();
-        for (std::size_t i = 0; i < params_.size(); ++i)
-            masters_[i] = params_[i]->value;
-        if (eccEnabled()) {
-            // The in-place RMW update rewrote the rows; re-encode the
-            // sideband so next step's decode sees a clean codeword.
-            reencodeMastersEcc();
+        {
+            CQ_TRACE_SCOPE("trainer.optim");
+            PhaseTimer timer(phaseOptimUs_);
+            optimizer_.step();
+            for (std::size_t i = 0; i < params_.size(); ++i)
+                masters_[i] = params_[i]->value;
+            if (eccEnabled()) {
+                // The in-place RMW update rewrote the rows; re-encode
+                // the sideband so next step's decode sees a clean
+                // codeword.
+                reencodeMastersEcc();
+            }
         }
         if (monitor_ != nullptr)
             monitor_->breakers().countDown();
-        maybeCheckpoint();
+        {
+            CQ_TRACE_SCOPE("trainer.ckpt");
+            PhaseTimer timer(phaseCkptUs_);
+            maybeCheckpoint();
+        }
     } else {
         // Discard the poisoned step: no optimizer update, degrade the
         // quantization path, and recover state from the last good
@@ -328,10 +409,72 @@ QuantTrainer::finishStep(double loss)
         monitor_->stats().add("guard.discardedSteps", 1.0);
         if (watchdog_tripped)
             monitor_->tripAllLayers();
-        rollback();
+        {
+            CQ_TRACE_SCOPE("trainer.ckpt");
+            PhaseTimer timer(phaseCkptUs_);
+            rollback();
+        }
     }
     pollShutdown();
+    emitStepTelemetry(loss, gradMaxAbs);
     return loss;
+}
+
+void
+QuantTrainer::emitStepTelemetry(double loss, double grad_max_abs)
+{
+    const std::uint64_t endNs = obs::detail::monotonicNowNs();
+    const double stepUs =
+        static_cast<double>(endNs - stepStartNs_) / 1000.0;
+
+    static obs::Counter &steps =
+        obs::MetricRegistry::instance().counter("trainer.steps");
+    static obs::Gauge &lossGauge =
+        obs::MetricRegistry::instance().gauge("trainer.loss");
+    static obs::Histogram &stepTime =
+        obs::MetricRegistry::instance().histogram(
+            "trainer.step_time_us");
+    steps.inc();
+    lossGauge.set(loss);
+    stepTime.observe(stepUs);
+
+    // The whole-step span opens in beginStep and closes here, so it
+    // cannot be an RAII scope; record it directly.
+    if (obs::traceEnabled())
+        obs::TraceSession::instance().record("trainer.step",
+                                             stepStartNs_, endNs);
+
+    if (telemetrySink_ == nullptr)
+        return;
+    obs::StepTelemetry rec;
+    rec.step = step_;
+    rec.loss = loss;
+    rec.gradMaxAbs = grad_max_abs;
+    rec.discarded = lastStepDiscarded_;
+    rec.stepUs = stepUs;
+    rec.fwdUs = phaseFwdUs_;
+    rec.bwdUs = phaseBwdUs_;
+    rec.quantUs = phaseQuantUs_;
+    rec.optimUs = phaseOptimUs_;
+    rec.ckptUs = phaseCkptUs_;
+    rec.layerFormats = std::move(stepFormats_);
+    stepFormats_.clear();
+    rec.weightQuantRmseMean =
+        stepRmseCount_ > 0
+            ? stepRmseSum_ / static_cast<double>(stepRmseCount_)
+            : 0.0;
+    rec.weightQuantRmseMax = stepRmseMax_;
+    // Delta every resilience counter against the previous emission so
+    // rollbacks / ECC corrections / checkpoint commits line up with
+    // the step that paid for them.
+    const StatGroup current = resilienceStats();
+    for (const auto &kv : current.all()) {
+        const double delta = kv.second - telemetryPrev_.get(kv.first);
+        if (delta != 0.0)
+            rec.counterDeltas[kv.first] = delta;
+    }
+    telemetryPrev_ = current;
+    telemetrySink_->onStep(rec);
 }
 
 bool

@@ -34,6 +34,7 @@
 #include "nn/network.h"
 #include "nn/optimizer.h"
 #include "nn/softmax.h"
+#include "obs/telemetry.h"
 #include "quant/policy.h"
 #include "sim/faults/fault_injector.h"
 #include "tensor/abft.h"
@@ -262,6 +263,24 @@ class QuantTrainer
     StatGroup resilienceStats() const;
     /** @} */
 
+    /** @name Observability */
+    /** @{ */
+    /**
+     * Attach (or detach with nullptr) a per-step telemetry sink
+     * (obs/telemetry.h). The sink receives one StepTelemetry record
+     * at the end of every training step. Purely observational: the
+     * record is assembled from values the step already computed plus
+     * read-only extra passes (grad max-abs, quantization tallies), so
+     * training with a sink attached stays bitwise identical to
+     * training without one. Not owned; must outlive the trainer or be
+     * detached first.
+     */
+    void setTelemetrySink(obs::TelemetrySink *sink)
+    {
+        telemetrySink_ = sink;
+    }
+    /** @} */
+
   private:
     /** Begin a step: fault injection + master scan + weight load. */
     void beginStep();
@@ -286,6 +305,8 @@ class QuantTrainer
     void rollback();
     /** Handle a pending SIGTERM/SIGINT at the step boundary. */
     void pollShutdown();
+    /** Observe step metrics and deliver the StepTelemetry record. */
+    void emitStepTelemetry(double loss, double grad_max_abs);
     /** True when any checkpoint destination is configured. */
     bool checkpointingEnabled() const;
     /** Scrub + demand-correct every master; trips on double bits. */
@@ -321,6 +342,27 @@ class QuantTrainer
     abft::AbftConfig abftConfig_;
     StatGroup abftStats_;
     double abftEscalationsAtStepStart_ = 0.0;
+
+    /** @name Telemetry scratch (observational only) */
+    /** @{ */
+    obs::TelemetrySink *telemetrySink_ = nullptr;
+    /** Monotonic ns at beginStep; closes the trainer.step span. */
+    std::uint64_t stepStartNs_ = 0;
+    /** Wall-clock accumulators, reset each beginStep. */
+    double phaseFwdUs_ = 0.0;
+    double phaseBwdUs_ = 0.0;
+    double phaseQuantUs_ = 0.0;
+    double phaseOptimUs_ = 0.0;
+    double phaseCkptUs_ = 0.0;
+    /** E2BQM choices of this step's weight load, keyed by layer. */
+    std::map<std::string, std::map<int, std::uint64_t>> stepFormats_;
+    double stepRmseSum_ = 0.0;
+    double stepRmseMax_ = 0.0;
+    std::size_t stepRmseCount_ = 0;
+    /** resilienceStats() snapshot at the previous emission, for
+     *  per-step counter deltas. */
+    StatGroup telemetryPrev_;
+    /** @} */
 };
 
 } // namespace cq::nn

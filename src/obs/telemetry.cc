@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of the telemetry record serializer and JSONL sink.
+ */
+
+#include "obs/telemetry.h"
+
+#include "obs/jsonw.h"
+
+namespace cq::obs {
+
+std::string
+StepTelemetry::toJson() const
+{
+    std::string out;
+    out.reserve(512);
+    out += "{\"step\":";
+    out += std::to_string(step);
+    out += ",\"loss\":";
+    appendJsonNumber(out, loss);
+    out += ",\"grad_max_abs\":";
+    appendJsonNumber(out, gradMaxAbs);
+    out += ",\"discarded\":";
+    out += discarded ? "true" : "false";
+    out += ",\"step_us\":";
+    appendJsonFixed(out, stepUs, 3);
+    out += ",\"phases_us\":{\"fwd\":";
+    appendJsonFixed(out, fwdUs, 3);
+    out += ",\"bwd\":";
+    appendJsonFixed(out, bwdUs, 3);
+    out += ",\"quant\":";
+    appendJsonFixed(out, quantUs, 3);
+    out += ",\"optim\":";
+    appendJsonFixed(out, optimUs, 3);
+    out += ",\"ckpt\":";
+    appendJsonFixed(out, ckptUs, 3);
+    out += '}';
+    if (!layerFormats.empty()) {
+        out += ",\"formats\":{";
+        bool firstLayer = true;
+        for (const auto &layer : layerFormats) {
+            if (!firstLayer)
+                out += ',';
+            firstLayer = false;
+            appendJsonString(out, layer.first);
+            out += ":{";
+            bool firstBits = true;
+            for (const auto &bits : layer.second) {
+                if (!firstBits)
+                    out += ',';
+                firstBits = false;
+                appendJsonString(out,
+                                 "int" + std::to_string(bits.first));
+                out += ':';
+                out += std::to_string(bits.second);
+            }
+            out += '}';
+        }
+        out += "},\"weight_quant_rmse\":{\"mean\":";
+        appendJsonNumber(out, weightQuantRmseMean);
+        out += ",\"max\":";
+        appendJsonNumber(out, weightQuantRmseMax);
+        out += '}';
+    }
+    if (!counterDeltas.empty()) {
+        out += ",\"counter_deltas\":{";
+        bool first = true;
+        for (const auto &kv : counterDeltas) {
+            if (!first)
+                out += ',';
+            first = false;
+            appendJsonString(out, kv.first);
+            out += ':';
+            appendJsonNumber(out, kv.second);
+        }
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+JsonlTelemetrySink::JsonlTelemetrySink(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        std::fprintf(stderr, "[warn] telemetry: cannot open %s\n",
+                     path.c_str());
+}
+
+JsonlTelemetrySink::~JsonlTelemetrySink()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+JsonlTelemetrySink::onStep(const StepTelemetry &record)
+{
+    if (file_ == nullptr)
+        return;
+    const std::string line = record.toJson();
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+    ++records_;
+}
+
+} // namespace cq::obs

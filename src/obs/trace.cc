@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Implementation of the scoped tracer and the Chrome trace exporter.
+ */
+
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/jsonw.h"
+
+namespace cq::obs {
+
+namespace detail {
+
+std::atomic<bool> gTraceEnabled{false};
+
+std::uint64_t
+monotonicNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace detail
+
+namespace {
+
+std::atomic<std::uint32_t> gNextThreadId{0};
+
+std::uint32_t
+allocThreadId()
+{
+    return gNextThreadId.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::uint32_t
+currentThreadId()
+{
+    thread_local std::uint32_t id = allocThreadId();
+    return id;
+}
+
+/** One recorded host span. */
+struct HostSpan
+{
+    const char *name;
+    std::uint64_t startNs;
+    std::uint64_t endNs;
+};
+
+/** Per-thread append-only buffer, owned by the session. */
+struct ThreadBuf
+{
+    std::uint32_t tid = 0;
+    std::vector<HostSpan> spans;
+};
+
+struct TraceSession::Impl
+{
+    /** Registration of thread buffers + external spans. Never taken
+     *  on the span hot path. */
+    mutable std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadBuf>> buffers;
+    std::vector<ExternalSpan> external;
+    /** Time origin: host timestamps are exported relative to this. */
+    std::uint64_t epochNs = detail::monotonicNowNs();
+    /** CQ_TRACE=0 kill-switch, latched at construction. */
+    bool envKilled = false;
+
+    ThreadBuf *registerThread()
+    {
+        auto buf = std::make_unique<ThreadBuf>();
+        buf->tid = currentThreadId();
+        ThreadBuf *raw = buf.get();
+        std::lock_guard<std::mutex> lock(mutex);
+        buffers.push_back(std::move(buf));
+        return raw;
+    }
+};
+
+TraceSession::TraceSession()
+    : impl_(new Impl)
+{
+    if (const char *env = std::getenv("CQ_TRACE"))
+        impl_->envKilled = std::strcmp(env, "0") == 0;
+}
+
+TraceSession &
+TraceSession::instance()
+{
+    // Leaky: spans may fire during static destruction of other TUs.
+    static TraceSession *session = new TraceSession;
+    return *session;
+}
+
+void
+TraceSession::setEnabled(bool on)
+{
+    if (on && impl_->envKilled)
+        on = false;
+    detail::gTraceEnabled.store(on, std::memory_order_relaxed);
+}
+
+void
+TraceSession::record(const char *name, std::uint64_t start_ns,
+                     std::uint64_t end_ns)
+{
+    thread_local ThreadBuf *buf = nullptr;
+    if (buf == nullptr)
+        buf = impl_->registerThread();
+    buf->spans.push_back(HostSpan{name, start_ns, end_ns});
+}
+
+void
+TraceSession::addExternalSpan(ExternalSpan span)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->external.push_back(std::move(span));
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    // Buffers stay allocated: other threads cache raw pointers.
+    for (auto &buf : impl_->buffers)
+        buf->spans.clear();
+    impl_->external.clear();
+    impl_->epochNs = detail::monotonicNowNs();
+}
+
+std::size_t
+TraceSession::spanCount(const char *name_filter) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::size_t n = 0;
+    for (const auto &buf : impl_->buffers) {
+        for (const HostSpan &s : buf->spans) {
+            if (name_filter == nullptr ||
+                std::strcmp(s.name, name_filter) == 0)
+                ++n;
+        }
+    }
+    return n;
+}
+
+std::string
+TraceSession::chromeTraceJson() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::string out;
+    out.reserve(1 << 16);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    const auto comma = [&] {
+        if (!first)
+            out += ',';
+        first = false;
+    };
+
+    // Process/thread naming metadata so Perfetto shows labeled tracks.
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"cambricon-q host\"}}";
+    for (const auto &buf : impl_->buffers) {
+        comma();
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":";
+        out += std::to_string(buf->tid);
+        out += ",\"args\":{\"name\":\"host-thread-";
+        out += std::to_string(buf->tid);
+        out += "\"}}";
+    }
+
+    for (const auto &buf : impl_->buffers) {
+        for (const HostSpan &s : buf->spans) {
+            comma();
+            out += "{\"name\":";
+            appendJsonString(out, s.name);
+            out += ",\"cat\":\"host\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+            out += std::to_string(buf->tid);
+            out += ",\"ts\":";
+            const double ts_us =
+                (s.startNs >= impl_->epochNs
+                     ? static_cast<double>(s.startNs - impl_->epochNs)
+                     : 0.0) /
+                1000.0;
+            appendJsonFixed(out, ts_us, 3);
+            out += ",\"dur\":";
+            appendJsonFixed(
+                out,
+                static_cast<double>(s.endNs - s.startNs) / 1000.0, 3);
+            out += '}';
+        }
+    }
+
+    // External spans: pid 2, one tid per distinct track label.
+    std::map<std::string, int> trackTid;
+    for (const ExternalSpan &s : impl_->external) {
+        auto it = trackTid.find(s.track);
+        if (it == trackTid.end()) {
+            const int tid = static_cast<int>(trackTid.size());
+            trackTid.emplace(s.track, tid);
+            comma();
+            out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,"
+                   "\"tid\":";
+            out += std::to_string(tid);
+            out += ",\"args\":{\"name\":";
+            appendJsonString(out, s.track);
+            out += "}}";
+        }
+    }
+    if (!impl_->external.empty()) {
+        comma();
+        out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+               "\"tid\":0,\"args\":{\"name\":\"cambricon-q sim\"}}";
+    }
+    for (const ExternalSpan &s : impl_->external) {
+        comma();
+        out += "{\"name\":";
+        appendJsonString(out, s.name);
+        out += ",\"cat\":\"arch\",\"ph\":\"X\",\"pid\":2,\"tid\":";
+        out += std::to_string(trackTid[s.track]);
+        out += ",\"ts\":";
+        appendJsonFixed(out, s.tsUs, 3);
+        out += ",\"dur\":";
+        appendJsonFixed(out, s.durUs, 3);
+        if (!s.args.empty()) {
+            out += ",\"args\":{";
+            for (std::size_t i = 0; i < s.args.size(); ++i) {
+                if (i > 0)
+                    out += ',';
+                appendJsonString(out, s.args[i].first);
+                out += ':';
+                appendJsonNumber(out, s.args[i].second);
+            }
+            out += '}';
+        }
+        out += '}';
+    }
+
+    out += "]}";
+    return out;
+}
+
+bool
+TraceSession::writeChromeTrace(const std::string &path) const
+{
+    const std::string json = chromeTraceJson();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "[warn] trace: cannot open %s\n",
+                     path.c_str());
+        return false;
+    }
+    const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    if (n != json.size()) {
+        std::fprintf(stderr, "[warn] trace: short write to %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace cq::obs

@@ -11,6 +11,7 @@
 
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "obs/trace.h"
 
 namespace cq::quant {
 
@@ -161,6 +162,7 @@ e2bqmQuantize(const Tensor &x, const E2bqmConfig &config)
 {
     CQ_ASSERT_MSG(!config.candidates.empty(),
                   "E2BQM requires at least one candidate");
+    CQ_TRACE_SCOPE("quant.e2bqm_sweep");
     // Step 1: one-pass statistic over the original data.
     MaxAbsStat stat;
     for (std::size_t i = 0; i < x.numel(); ++i)
@@ -189,19 +191,29 @@ e2bqmQuantize(const Tensor &x, const E2bqmConfig &config)
 }
 
 Tensor
-fakeQuantizeE2bqm(const Tensor &x, const E2bqmConfig &config)
+fakeQuantizeE2bqm(const Tensor &x, const E2bqmConfig &config,
+                  E2bqmSelectionInfo *info)
 {
-    return e2bqmQuantize(x, config).best().dequantize(x.shape());
+    const E2bqmResult result = e2bqmQuantize(x, config);
+    if (info != nullptr)
+        ++info->bitsTally[result.best().candidate.bits];
+    return result.best().dequantize(x.shape());
 }
 
 Tensor
 fakeQuantizeHqt(const Tensor &x, std::size_t block_size,
-                const E2bqmConfig &config)
+                const E2bqmConfig &config, E2bqmSelectionInfo *info)
 {
     CQ_ASSERT(block_size > 0);
     Tensor out(x.shape());
     const std::size_t n = x.numel();
     const std::size_t nblocks = (n + block_size - 1) / block_size;
+    // Chosen bit widths land in a per-block slot (disjoint writes)
+    // and are tallied serially after the join, so requesting the info
+    // stays race-free and thread-count independent.
+    std::vector<int> chosenBits;
+    if (info != nullptr)
+        chosenBits.resize(nblocks, 0);
     // Blocks are quantized independently and write disjoint output
     // slices; the nested E2BQM candidate sweep runs inline.
     parallelFor(0, nblocks, 1, [&](std::size_t blo, std::size_t bhi) {
@@ -211,11 +223,18 @@ fakeQuantizeHqt(const Tensor &x, std::size_t block_size,
             Tensor block({hi - lo});
             for (std::size_t i = lo; i < hi; ++i)
                 block[i - lo] = x[i];
-            const Tensor deq = fakeQuantizeE2bqm(block, config);
+            const E2bqmResult res = e2bqmQuantize(block, config);
+            if (info != nullptr)
+                chosenBits[blk] = res.best().candidate.bits;
+            const Tensor deq = res.best().dequantize(block.shape());
             for (std::size_t i = lo; i < hi; ++i)
                 out[i] = deq[i - lo];
         }
     });
+    if (info != nullptr) {
+        for (int bits : chosenBits)
+            ++info->bitsTally[bits];
+    }
     return out;
 }
 

@@ -17,6 +17,7 @@
 #define CQ_QUANT_E2BQM_H
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -120,8 +121,20 @@ std::size_t arbitrate(const std::vector<CandidateResult> &candidates);
 
 E2bqmResult e2bqmQuantize(const Tensor &x, const E2bqmConfig &config);
 
+/**
+ * Optional observability side-channel of the fake-quantize entry
+ * points: which bit width the arbiter chose, per block. Filling it is
+ * tally-only — requesting the info never changes the quantized data.
+ */
+struct E2bqmSelectionInfo
+{
+    /** Chosen bit width -> number of blocks that chose it. */
+    std::map<int, std::uint64_t> bitsTally;
+};
+
 /** Round-trip through the selected candidate. */
-Tensor fakeQuantizeE2bqm(const Tensor &x, const E2bqmConfig &config);
+Tensor fakeQuantizeE2bqm(const Tensor &x, const E2bqmConfig &config,
+                         E2bqmSelectionInfo *info = nullptr);
 
 /**
  * Blocked E2BQM: apply the multiplexer independently to consecutive
@@ -129,7 +142,8 @@ Tensor fakeQuantizeE2bqm(const Tensor &x, const E2bqmConfig &config);
  * full HQT path). Returns the dequantized reconstruction.
  */
 Tensor fakeQuantizeHqt(const Tensor &x, std::size_t block_size,
-                       const E2bqmConfig &config);
+                       const E2bqmConfig &config,
+                       E2bqmSelectionInfo *info = nullptr);
 
 } // namespace cq::quant
 

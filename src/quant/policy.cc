@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "tensor/tensor_ops.h"
 
 namespace cq::quant {
 
@@ -183,16 +184,43 @@ applyFloatPolicy(const Tensor &x, const RolePolicy &policy,
 } // namespace
 
 Tensor
-applyPolicy(const Tensor &x, const AlgorithmConfig &algo, TensorRole role)
+applyPolicy(const Tensor &x, const AlgorithmConfig &algo, TensorRole role,
+            PolicyApplyInfo *info)
 {
     const RolePolicy &policy = algo.policyFor(role);
-    if (!policy.quantize || x.numel() == 0)
+    if (!policy.quantize || x.numel() == 0) {
+        if (info != nullptr && x.numel() > 0)
+            ++info->bitsTally[32]; // FP32 passthrough
         return x;
-    if (policy.useFloat)
-        return applyFloatPolicy(x, policy, algo.blockSize);
-    if (algo.blockSize > 0)
-        return fakeQuantizeHqt(x, algo.blockSize, policy.e2bqm);
-    return fakeQuantizeE2bqm(x, policy.e2bqm);
+    }
+    if (policy.useFloat) {
+        Tensor out = applyFloatPolicy(x, policy, algo.blockSize);
+        if (info != nullptr) {
+            const int totalBits = 1 + policy.floatFormat.expBits +
+                                  policy.floatFormat.mantBits;
+            const std::size_t nblocks =
+                algo.blockSize == 0
+                    ? 1
+                    : (x.numel() + algo.blockSize - 1) /
+                          algo.blockSize;
+            info->bitsTally[totalBits] +=
+                static_cast<std::uint64_t>(nblocks);
+            info->rmse = rmse(x, out);
+        }
+        return out;
+    }
+    E2bqmSelectionInfo selection;
+    E2bqmSelectionInfo *sel = info != nullptr ? &selection : nullptr;
+    Tensor out = algo.blockSize > 0
+                     ? fakeQuantizeHqt(x, algo.blockSize,
+                                       policy.e2bqm, sel)
+                     : fakeQuantizeE2bqm(x, policy.e2bqm, sel);
+    if (info != nullptr) {
+        for (const auto &kv : selection.bitsTally)
+            info->bitsTally[kv.first] += kv.second;
+        info->rmse = rmse(x, out);
+    }
+    return out;
 }
 
 } // namespace cq::quant

@@ -103,12 +103,30 @@ struct AlgorithmConfig
 };
 
 /**
+ * Optional observability side-channel of applyPolicy. Purely an
+ * extra read-only tally: the quantized output is bitwise identical
+ * whether or not the info is requested.
+ */
+struct PolicyApplyInfo
+{
+    /**
+     * Chosen bit width -> number of blocks that chose it. For float
+     * policies the "bit width" is the total format width
+     * (1 + expBits + mantBits, e.g. 8 for fp8); FP32 passthrough
+     * records 32.
+     */
+    std::map<int, std::uint64_t> bitsTally;
+    /** RMSE of the reconstruction against the input. */
+    double rmse = 0.0;
+};
+
+/**
  * Fake-quantize @p x according to the algorithm's recipe for @p role:
  * layer-wise or LDQ-sliced E2BQM round-trip. Returns @p x unchanged
  * for roles the algorithm keeps in FP32.
  */
 Tensor applyPolicy(const Tensor &x, const AlgorithmConfig &algo,
-                   TensorRole role);
+                   TensorRole role, PolicyApplyInfo *info = nullptr);
 
 } // namespace cq::quant
 

@@ -10,6 +10,8 @@
 
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/abft.h"
 
 namespace cq {
@@ -121,6 +123,14 @@ matmul(const Tensor &a, const Tensor &b)
     // checksum pass recurses into this function scope-suspended.
     if (const abft::AbftConfig *cfg = abft::AbftScope::active())
         return abft::abftMatmul(a, b, *cfg);
+    CQ_TRACE_SCOPE("gemm.matmul");
+    static obs::Counter &calls =
+        obs::MetricRegistry::instance().counter("gemm.calls");
+    static obs::Counter &macs =
+        obs::MetricRegistry::instance().counter("gemm.macs");
+    calls.inc();
+    macs.add(static_cast<double>(m) * static_cast<double>(k) *
+             static_cast<double>(n));
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -156,6 +166,14 @@ matmulTransA(const Tensor &a, const Tensor &b)
                   "matmulTransA: A^T rows %zu != B rows %zu (%s^T x %s)",
                   k, b.dim(0), shapeToString(a.shape()).c_str(),
                   shapeToString(b.shape()).c_str());
+    CQ_TRACE_SCOPE("gemm.matmulTransA");
+    static obs::Counter &calls =
+        obs::MetricRegistry::instance().counter("gemm.calls");
+    static obs::Counter &macs =
+        obs::MetricRegistry::instance().counter("gemm.macs");
+    calls.inc();
+    macs.add(static_cast<double>(m) * static_cast<double>(k) *
+             static_cast<double>(n));
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -191,6 +209,14 @@ matmulTransB(const Tensor &a, const Tensor &b)
                   "matmulTransB: A cols %zu != B^T rows %zu (%s x %s^T)",
                   k, b.dim(1), shapeToString(a.shape()).c_str(),
                   shapeToString(b.shape()).c_str());
+    CQ_TRACE_SCOPE("gemm.matmulTransB");
+    static obs::Counter &calls =
+        obs::MetricRegistry::instance().counter("gemm.calls");
+    static obs::Counter &macs =
+        obs::MetricRegistry::instance().counter("gemm.macs");
+    calls.inc();
+    macs.add(static_cast<double>(m) * static_cast<double>(k) *
+             static_cast<double>(n));
     Tensor c({m, n});
     const float *pa = a.data();
     const float *pb = b.data();
@@ -254,6 +280,7 @@ im2col(const Tensor &input, const Conv2dGeometry &g)
     const std::size_t p = g.outH(h), q = g.outW(w);
     const std::size_t patch = c * g.kernelH * g.kernelW;
 
+    CQ_TRACE_SCOPE("tensor.im2col");
     Tensor cols({n * p * q, patch});
     float *out = cols.data();
     // Every patch row of the output is written by exactly one index,
@@ -309,6 +336,7 @@ col2im(const Tensor &cols, const Shape &inputShape, const Conv2dGeometry &g)
                   shapeToString(cols.shape()).c_str(),
                   shapeToString(inputShape).c_str(), n * p * q, patch);
 
+    CQ_TRACE_SCOPE("tensor.col2im");
     Tensor out(inputShape);
     const float *in = cols.data();
     // Overlapping patches accumulate into the same input pixels, so

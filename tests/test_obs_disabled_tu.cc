@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Companion translation unit for the CQ_OBS_DISABLED compile-out
+ * proof. This TU defines CQ_OBS_DISABLED *before* including the trace
+ * header, so every CQ_TRACE_SCOPE below expands to the empty
+ * statement. test_obs.cc calls runCompiledOutSpans() with tracing
+ * enabled and asserts that nothing was recorded — the macro genuinely
+ * vanished rather than merely being cheap.
+ */
+
+#define CQ_OBS_DISABLED 1
+#include "obs/trace.h"
+
+namespace cq::obs::testing {
+
+void
+runCompiledOutSpans(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        CQ_TRACE_SCOPE("disabled.tu.span");
+        CQ_TRACE_SCOPE("disabled.tu.inner");
+    }
+}
+
+} // namespace cq::obs::testing

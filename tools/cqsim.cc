@@ -20,6 +20,14 @@
  *   cqsim --train spiral [--steps N] [--seed S] [--ckpt-dir D]
  *         [--ckpt-every N] [--ckpt-keep K] [--resume D]
  *         [--sync-ckpt] [--masters-out F]
+ *
+ * Observability (all modes): --trace-out F writes a Chrome
+ * trace-event JSON (host spans in --train mode, per-unit simulated
+ * timelines in --network/--gemm mode); --metrics-out F writes a
+ * Prometheus text snapshot. --train additionally takes
+ * --telemetry-out F (one JSONL record per step), --metrics-every N
+ * (periodic metrics rewrite) and the in-situ correction knobs
+ * --ecc, --abft and --fault-rate FLIPS_PER_MBIT.
  */
 
 #include <cerrno>
@@ -29,11 +37,14 @@
 #include <string>
 
 #include "arch/accelerator.h"
+#include "arch/trace_export.h"
 #include "baseline/tpu_sim.h"
 #include "common/signal_flag.h"
 #include "compiler/codegen.h"
 #include "compiler/workloads.h"
 #include "nn/guard/crash_harness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace cq;
 
@@ -54,7 +65,11 @@ printUsage(std::FILE *to)
         "       cqsim --train spiral [--steps N] [--seed S]\n"
         "             [--ckpt-dir D] [--ckpt-every N] [--ckpt-keep "
         "K]\n"
-        "             [--resume D] [--sync-ckpt] [--masters-out F]\n");
+        "             [--resume D] [--sync-ckpt] [--masters-out F]\n"
+        "             [--ecc] [--abft] [--fault-rate R]\n"
+        "             [--telemetry-out F] [--metrics-every N]\n"
+        "observability (all modes):\n"
+        "             [--trace-out F] [--metrics-out F]\n");
 }
 
 void
@@ -89,6 +104,24 @@ parseU64(const std::string &flag, const std::string &text,
     return v;
 }
 
+/** Strict non-negative float parse; one-line error + exit 2. */
+double
+parseF64(const std::string &flag, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0' ||
+        !(v >= 0.0)) {
+        std::fprintf(
+            stderr,
+            "cqsim: %s expects a non-negative number, got '%s'\n",
+            flag.c_str(), text.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
 /** The --train mode: real quantized training with the generation
  *  store, elastic resume and clean signal shutdown. */
 struct TrainArgs
@@ -102,10 +135,16 @@ struct TrainArgs
     std::string resumeDir;
     bool syncCkpt = false;
     std::string mastersOut;
+    bool ecc = false;
+    bool abft = false;
+    double faultRate = 0.0;
+    std::string telemetryOut;
+    std::uint64_t metricsEvery = 0;
 };
 
 int
-runTrain(const TrainArgs &a)
+runTrain(const TrainArgs &a, const std::string &traceOut,
+         const std::string &metricsOut)
 {
     if (a.task != "spiral") {
         std::fprintf(stderr,
@@ -115,10 +154,12 @@ runTrain(const TrainArgs &a)
         return 2;
     }
     if (a.ckptDir.empty() && a.resumeDir.empty() &&
-        a.mastersOut.empty()) {
+        a.mastersOut.empty() && traceOut.empty() &&
+        metricsOut.empty() && a.telemetryOut.empty()) {
         std::fprintf(stderr,
-                     "cqsim: --train needs --ckpt-dir, --resume or "
-                     "--masters-out (nothing would be persisted)\n");
+                     "cqsim: --train needs --ckpt-dir, --resume, "
+                     "--masters-out or an observability output "
+                     "(nothing would be persisted)\n");
         return 2;
     }
 
@@ -133,6 +174,13 @@ runTrain(const TrainArgs &a)
     cfg.resumeDir = a.resumeDir;
     cfg.handleSignals = true;
     cfg.mastersOut = a.mastersOut;
+    cfg.ecc = a.ecc;
+    cfg.abft = a.abft;
+    cfg.faultFlipsPerMbit = a.faultRate;
+    cfg.traceOut = traceOut;
+    cfg.metricsOut = metricsOut;
+    cfg.telemetryOut = a.telemetryOut;
+    cfg.metricsEvery = a.metricsEvery;
 
     installShutdownSignalHandler();
 
@@ -145,6 +193,13 @@ runTrain(const TrainArgs &a)
                     static_cast<unsigned long long>(a.ckptEvery),
                     static_cast<unsigned long long>(a.ckptKeep),
                     cfg.asyncCheckpoint ? "async" : "sync");
+    if (!traceOut.empty() || !metricsOut.empty() ||
+        !a.telemetryOut.empty())
+        std::printf("obs:       trace %s, metrics %s, telemetry %s\n",
+                    traceOut.empty() ? "-" : traceOut.c_str(),
+                    metricsOut.empty() ? "-" : metricsOut.c_str(),
+                    a.telemetryOut.empty() ? "-"
+                                           : a.telemetryOut.c_str());
 
     const auto r = nn::guard::runCrashHarness(cfg);
 
@@ -224,6 +279,7 @@ main(int argc, char **argv)
     int bits = 8;
     std::size_t batch = 0, disasm = 0;
     bool stats = false, trace = false;
+    std::string traceOut, metricsOut;
     TrainArgs train;
 
     for (int i = 1; i < argc; ++i) {
@@ -274,6 +330,20 @@ main(int argc, char **argv)
             train.syncCkpt = true;
         else if (arg == "--masters-out")
             train.mastersOut = next();
+        else if (arg == "--ecc")
+            train.ecc = true;
+        else if (arg == "--abft")
+            train.abft = true;
+        else if (arg == "--fault-rate")
+            train.faultRate = parseF64(arg, next());
+        else if (arg == "--trace-out")
+            traceOut = next();
+        else if (arg == "--metrics-out")
+            metricsOut = next();
+        else if (arg == "--telemetry-out")
+            train.telemetryOut = next();
+        else if (arg == "--metrics-every")
+            train.metricsEvery = parseU64(arg, next(), 1, 1000000);
         else if (arg == "--help" || arg == "-h") {
             printUsage(stdout);
             return 0;
@@ -294,7 +364,7 @@ main(int argc, char **argv)
         return 2;
     }
     if (!train.task.empty())
-        return runTrain(train);
+        return runTrain(train, traceOut, metricsOut);
 
     const compiler::WorkloadIR ir =
         gemm.empty() ? pickWorkload(network, batch)
@@ -357,7 +427,9 @@ main(int argc, char **argv)
     }
 
     arch::Accelerator acc(cfg);
-    const auto report = acc.run(prog, trace);
+    // --trace-out needs the per-instruction trace even when the
+    // textual --trace dump was not requested.
+    const auto report = acc.run(prog, trace || !traceOut.empty());
 
     std::printf("\nresult:    %.3f ms, %.2f mJ (%.2f W average)\n",
                 report.timeMs(cfg.freqGhz), report.energyMj(),
@@ -399,6 +471,21 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(e.start),
                         static_cast<unsigned long long>(e.end));
         }
+    }
+    if (!traceOut.empty()) {
+        auto &session = obs::TraceSession::instance();
+        session.setEnabled(true);
+        const std::size_t spans = arch::exportPerfTraceToSession(
+            report, cfg.freqGhz, session);
+        session.writeChromeTrace(traceOut);
+        std::printf("trace-out: %zu simulated spans -> %s\n", spans,
+                    traceOut.c_str());
+    }
+    if (!metricsOut.empty()) {
+        obs::MetricRegistry::instance().writeProm(metricsOut,
+                                                  {&report.activity});
+        std::printf("metrics:   activity counters -> %s\n",
+                    metricsOut.c_str());
     }
     return 0;
 }
