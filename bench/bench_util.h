@@ -1,15 +1,18 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: running one workload
- * on each platform model and printing aligned tables.
+ * Shared helpers for the benchmark workloads: running one workload IR
+ * on each platform model (Cambricon-Q configs, TPU, GPU) and
+ * condensing the per-platform report.
  */
 
 #ifndef CQ_BENCH_BENCH_UTIL_H
 #define CQ_BENCH_BENCH_UTIL_H
 
-#include <cstdio>
+// <array> was previously picked up transitively through the arch
+// headers; PlatformResult::phaseFrac needs it directly.
+#include <array>
+#include <cstddef>
 #include <string>
-#include <vector>
 
 #include "arch/accelerator.h"
 #include "baseline/gpu_model.h"
@@ -81,24 +84,6 @@ runGpu(const compiler::WorkloadIR &ir, const baseline::GpuSpec &gpu,
         out.phaseFrac[p] =
             r.phaseFraction(static_cast<arch::Phase>(p));
     return out;
-}
-
-/** Print a horizontal rule. */
-inline void
-rule(int width = 78)
-{
-    for (int i = 0; i < width; ++i)
-        std::putchar('-');
-    std::putchar('\n');
-}
-
-/** Print the header used by all harnesses. */
-inline void
-banner(const char *what, const char *paper_ref)
-{
-    rule();
-    std::printf("%s\n  reproduces: %s\n", what, paper_ref);
-    rule();
 }
 
 } // namespace cq::bench

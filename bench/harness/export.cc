@@ -1,0 +1,258 @@
+#include "harness/export.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <unistd.h>
+
+#include "common/threadpool.h"
+#include "obs/jsonw.h"
+
+namespace cq::bench {
+
+Provenance
+Provenance::capture(const WorkloadContext &ctx)
+{
+    Provenance p;
+    char host[256] = {0};
+    if (::gethostname(host, sizeof host - 1) == 0)
+        p.host = host;
+    p.threads = ctx.threads > 0
+                    ? ctx.threads
+                    : ThreadPool::instance().numThreads();
+    p.seed = ctx.seed;
+    p.repeat = ctx.repeat;
+    p.quick = ctx.quick;
+    const char *env = std::getenv("CQ_THREADS");
+    p.cqThreadsEnv = env != nullptr ? env : "";
+    p.generatedUnixMs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return p;
+}
+
+std::string
+toTable(const std::vector<RunRecord> &records)
+{
+    std::string out;
+    char line[256];
+    for (const auto &r : records) {
+        std::snprintf(line, sizeof line, "%s  [%s]\n", r.name.c_str(),
+                      r.area.c_str());
+        out += line;
+        std::snprintf(line, sizeof line, "  %s\n",
+                      r.description.c_str());
+        out += line;
+        for (const auto &m : r.result.metrics) {
+            std::snprintf(line, sizeof line, "  %-44s %16.6g %-4s%s\n",
+                          m.name.c_str(), m.value, m.unit.c_str(),
+                          m.timing ? " (timing)" : "");
+            out += line;
+        }
+        std::snprintf(line, sizeof line,
+                      "  %-44s %16.3f ms   (cpu %.3f ms, %.2f busy "
+                      "cores)\n",
+                      "harness.wall", r.timing.wallMs,
+                      r.timing.processCpuMs, r.timing.cpuUtilization);
+        out += line;
+        if (!r.result.notes.empty()) {
+            out += "  note: " + r.result.notes + "\n";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+toCsv(const std::vector<RunRecord> &records)
+{
+    std::string out = "workload,area,metric,value,unit,timing\n";
+    char line[256];
+    for (const auto &r : records) {
+        for (const auto &m : r.result.metrics) {
+            std::snprintf(line, sizeof line, "%s,%s,%s,%.17g,%s,%d\n",
+                          r.name.c_str(), r.area.c_str(),
+                          m.name.c_str(), m.value, m.unit.c_str(),
+                          m.timing ? 1 : 0);
+            out += line;
+        }
+        std::snprintf(line, sizeof line,
+                      "%s,%s,harness.wall_ms,%.17g,ms,1\n",
+                      r.name.c_str(), r.area.c_str(), r.timing.wallMs);
+        out += line;
+        std::snprintf(line, sizeof line,
+                      "%s,%s,harness.cpu_ms,%.17g,ms,1\n",
+                      r.name.c_str(), r.area.c_str(),
+                      r.timing.processCpuMs);
+        out += line;
+    }
+    return out;
+}
+
+namespace {
+
+void
+appendProvenance(std::string &out, const Provenance &prov)
+{
+    out += "  \"provenance\": {\n    \"host\": ";
+    obs::appendJsonString(out, prov.host);
+    out += ",\n    \"threads\": ";
+    obs::appendJsonNumber(out, prov.threads);
+    out += ",\n    \"cq_threads_env\": ";
+    if (prov.cqThreadsEnv.empty())
+        out += "null";
+    else
+        obs::appendJsonString(out, prov.cqThreadsEnv);
+    out += ",\n    \"seed\": ";
+    obs::appendJsonNumber(out, static_cast<double>(prov.seed));
+    out += ",\n    \"repeat\": ";
+    obs::appendJsonNumber(out, prov.repeat);
+    out += ",\n    \"quick\": ";
+    out += prov.quick ? "true" : "false";
+    out += ",\n    \"generated_unix_ms\": ";
+    obs::appendJsonNumber(out,
+                          static_cast<double>(prov.generatedUnixMs));
+    out += "\n  }";
+}
+
+void
+appendMetric(std::string &out, const MetricValue &m, bool first)
+{
+    if (!first)
+        out += ",\n";
+    out += "        ";
+    obs::appendJsonString(out, m.name);
+    out += ": {\"value\": ";
+    obs::appendJsonNumber(out, m.value);
+    if (!m.unit.empty()) {
+        out += ", \"unit\": ";
+        obs::appendJsonString(out, m.unit);
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+toBenchJson(const std::vector<RunRecord> &records,
+            const Provenance &prov, const std::string &area)
+{
+    std::string out = "{\n  \"schema\": ";
+    obs::appendJsonString(out, kBenchSchemaName);
+    out += ",\n  \"schema_version\": ";
+    obs::appendJsonNumber(out, kBenchSchemaVersion);
+    out += ",\n  \"area\": ";
+    obs::appendJsonString(out, area);
+    out += ",\n";
+    appendProvenance(out, prov);
+    out += ",\n  \"workloads\": [\n";
+    bool firstRec = true;
+    for (const auto &r : records) {
+        if (r.area != area)
+            continue;
+        if (!firstRec)
+            out += ",\n";
+        firstRec = false;
+        out += "    {\n      \"name\": ";
+        obs::appendJsonString(out, r.name);
+        out += ",\n      \"description\": ";
+        obs::appendJsonString(out, r.description);
+        out += ",\n      \"paper_ref\": ";
+        obs::appendJsonString(out, r.paperRef);
+        if (!r.result.notes.empty()) {
+            out += ",\n      \"notes\": ";
+            obs::appendJsonString(out, r.result.notes);
+        }
+        out += ",\n      \"metrics\": {\n";
+        bool first = true;
+        for (const auto &m : r.result.metrics) {
+            if (m.timing)
+                continue;
+            appendMetric(out, m, first);
+            first = false;
+        }
+        out += "\n      },\n      \"timing\": {\n";
+        out += "        \"wall_ms\": {\"value\": ";
+        obs::appendJsonNumber(out, r.timing.wallMs);
+        out += ", \"unit\": \"ms\"},\n";
+        out += "        \"wall_ms_min\": {\"value\": ";
+        obs::appendJsonNumber(out, r.timing.wallMsMin);
+        out += ", \"unit\": \"ms\"},\n";
+        out += "        \"wall_ms_mean\": {\"value\": ";
+        obs::appendJsonNumber(out, r.timing.wallMsMean);
+        out += ", \"unit\": \"ms\"},\n";
+        out += "        \"cpu_ms\": {\"value\": ";
+        obs::appendJsonNumber(out, r.timing.processCpuMs);
+        out += ", \"unit\": \"ms\"},\n";
+        out += "        \"cpu_main_thread_ms\": {\"value\": ";
+        obs::appendJsonNumber(out, r.timing.mainThreadCpuMs);
+        out += ", \"unit\": \"ms\"},\n";
+        out += "        \"cpu_utilization\": {\"value\": ";
+        obs::appendJsonNumber(out, r.timing.cpuUtilization);
+        out += ", \"unit\": \"cores\"},\n";
+        out += "        \"repeats\": {\"value\": ";
+        obs::appendJsonNumber(out, r.timing.repeats);
+        out += "}";
+        for (const auto &m : r.result.metrics) {
+            if (!m.timing)
+                continue;
+            out += ",\n";
+            appendMetric(out, m, true);
+        }
+        out += "\n      }\n    }";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+std::vector<std::string>
+writeBenchJsonFiles(const std::vector<RunRecord> &records,
+                    const Provenance &prov, const std::string &outDir,
+                    std::string &err)
+{
+    // Areas in first-seen order.
+    std::vector<std::string> areas;
+    for (const auto &r : records) {
+        bool seen = false;
+        for (const auto &a : areas)
+            seen = seen || a == r.area;
+        if (!seen)
+            areas.push_back(r.area);
+    }
+
+    if (!outDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(outDir, ec);
+        if (ec) {
+            err = "cannot create '" + outDir + "': " + ec.message();
+            return {};
+        }
+    }
+
+    std::vector<std::string> written;
+    for (const auto &area : areas) {
+        const std::string path =
+            (outDir.empty() ? std::string(".") : outDir) + "/BENCH_" +
+            area + ".json";
+        const std::string doc = toBenchJson(records, prov, area);
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            err = "cannot write '" + path + "'";
+            return written;
+        }
+        const bool ok =
+            std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+        std::fclose(f);
+        if (!ok) {
+            err = "short write on '" + path + "'";
+            return written;
+        }
+        written.push_back(path);
+    }
+    return written;
+}
+
+} // namespace cq::bench

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Result exporters: human table, CSV, and the schema-versioned
+ * BENCH_<area>.json trajectory documents (one per workload area,
+ * with host/thread/seed provenance) that get refreshed per PR and
+ * gated in CI. The config/export split follows hyrise's
+ * benchmark_runner; the JSON schema is versioned so downstream
+ * tooling can evolve without guessing.
+ */
+
+#ifndef CQ_BENCH_HARNESS_EXPORT_H
+#define CQ_BENCH_HARNESS_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace cq::bench {
+
+/** Bumped on any backwards-incompatible schema change. */
+inline constexpr int kBenchSchemaVersion = 1;
+inline constexpr const char *kBenchSchemaName = "cq-bench";
+
+/** Run provenance recorded into every exported document. */
+struct Provenance
+{
+    std::string host;
+    unsigned threads = 0;     ///< effective pool width
+    std::uint64_t seed = 42;
+    int repeat = 1;
+    bool quick = false;
+    std::string cqThreadsEnv; ///< raw CQ_THREADS value ("" if unset)
+    std::uint64_t generatedUnixMs = 0;
+
+    /** Capture the current process environment + @p ctx. */
+    static Provenance capture(const WorkloadContext &ctx);
+};
+
+/** Aligned per-workload metric table (the --format=table output). */
+std::string toTable(const std::vector<RunRecord> &records);
+
+/** Flat CSV: workload,area,metric,value,unit,timing. */
+std::string toCsv(const std::vector<RunRecord> &records);
+
+/**
+ * One BENCH document as a JSON string: the records (all of one area,
+ * by convention) plus provenance. Non-timing metrics land under
+ * "metrics", harness timing + timing-flagged metrics under "timing" —
+ * the determinism tests compare the former and ignore the latter.
+ */
+std::string toBenchJson(const std::vector<RunRecord> &records,
+                        const Provenance &prov,
+                        const std::string &area);
+
+/**
+ * Group @p records by area and write BENCH_<area>.json into
+ * @p outDir. Returns the paths written; @p err describes the first
+ * I/O failure (paths written so far remain on disk).
+ */
+std::vector<std::string>
+writeBenchJsonFiles(const std::vector<RunRecord> &records,
+                    const Provenance &prov, const std::string &outDir,
+                    std::string &err);
+
+} // namespace cq::bench
+
+#endif // CQ_BENCH_HARNESS_EXPORT_H

@@ -1,0 +1,186 @@
+#include "harness/gates.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace cq::bench {
+
+GateFile
+loadGates(const std::string &path)
+{
+    GateFile out;
+    const auto parsed = json::parseFile(path);
+    if (!parsed.ok) {
+        out.error = "gates file " + path + ": " + parsed.error;
+        return out;
+    }
+    const json::Value &doc = parsed.value;
+    if (!doc.isObject()) {
+        out.error = "gates file " + path + ": top level must be an "
+                                           "object";
+        return out;
+    }
+    out.schemaVersion =
+        static_cast<int>(doc.numberOr("schema_version", 0));
+    if (out.schemaVersion != 1) {
+        out.error = "gates file " + path +
+                    ": unsupported schema_version";
+        return out;
+    }
+    const json::Value *gates = doc.find("gates");
+    if (gates == nullptr || !gates->isArray()) {
+        out.error = "gates file " + path + ": missing 'gates' array";
+        return out;
+    }
+    for (const auto &g : gates->asArray()) {
+        if (!g.isObject()) {
+            out.error = "gates file " + path +
+                        ": every gate must be an object";
+            return out;
+        }
+        Gate gate;
+        gate.id = g.stringOr("id", "");
+        gate.workload = g.stringOr("workload", "");
+        gate.metric = g.stringOr("metric", "");
+        gate.note = g.stringOr("note", "");
+        const json::Value *mn = g.find("min");
+        const json::Value *mx = g.find("max");
+        if (mn != nullptr && mn->isNumber()) {
+            gate.hasMin = true;
+            gate.min = mn->asNumber();
+        }
+        if (mx != nullptr && mx->isNumber()) {
+            gate.hasMax = true;
+            gate.max = mx->asNumber();
+        }
+        if (gate.id.empty() || gate.workload.empty() ||
+            gate.metric.empty() || (!gate.hasMin && !gate.hasMax)) {
+            out.error = "gates file " + path + ": gate '" + gate.id +
+                        "' needs id, workload, metric and min/max";
+            return out;
+        }
+        for (const auto &prev : out.gates) {
+            if (prev.id == gate.id) {
+                out.error = "gates file " + path +
+                            ": duplicate gate id '" + gate.id + "'";
+                return out;
+            }
+        }
+        out.gates.push_back(std::move(gate));
+    }
+    if (out.gates.empty()) {
+        out.error = "gates file " + path + ": no gates defined";
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+std::vector<GateOutcome>
+evaluateGates(const std::vector<Gate> &gates,
+              const std::vector<RunRecord> &records)
+{
+    std::vector<GateOutcome> out;
+    out.reserve(gates.size());
+    for (const auto &g : gates) {
+        GateOutcome o;
+        o.gate = g;
+        const RunRecord *rec = nullptr;
+        for (const auto &r : records)
+            if (r.name == g.workload)
+                rec = &r;
+        if (rec == nullptr) {
+            o.detail = "workload did not run";
+            out.push_back(std::move(o));
+            continue;
+        }
+        const MetricValue *m = rec->result.find(g.metric);
+        if (m == nullptr) {
+            o.detail = "metric not reported";
+            out.push_back(std::move(o));
+            continue;
+        }
+        o.found = true;
+        o.value = m->value;
+        if (!std::isfinite(o.value)) {
+            o.detail = "non-finite value";
+            out.push_back(std::move(o));
+            continue;
+        }
+        const bool minOk = !g.hasMin || o.value >= g.min;
+        const bool maxOk = !g.hasMax || o.value <= g.max;
+        o.pass = minOk && maxOk;
+        char buf[128];
+        if (!minOk)
+            std::snprintf(buf, sizeof buf, "%.4g < min %.4g", o.value,
+                          g.min);
+        else if (!maxOk)
+            std::snprintf(buf, sizeof buf, "%.4g > max %.4g", o.value,
+                          g.max);
+        else
+            std::snprintf(buf, sizeof buf, "within bounds");
+        o.detail = buf;
+        out.push_back(std::move(o));
+    }
+    return out;
+}
+
+std::string
+gateReport(const std::vector<GateOutcome> &outcomes)
+{
+    std::string out;
+    char line[320];
+    std::snprintf(line, sizeof line, "%-9s %-42s %12s %18s  %s\n",
+                  "gate", "workload.metric", "value", "bound",
+                  "verdict");
+    out += line;
+    out += std::string(96, '-') + "\n";
+    std::size_t failures = 0;
+    for (const auto &o : outcomes) {
+        char bound[64];
+        if (o.gate.hasMin && o.gate.hasMax)
+            std::snprintf(bound, sizeof bound, "[%.4g, %.4g]",
+                          o.gate.min, o.gate.max);
+        else if (o.gate.hasMin)
+            std::snprintf(bound, sizeof bound, ">= %.4g", o.gate.min);
+        else
+            std::snprintf(bound, sizeof bound, "<= %.4g", o.gate.max);
+        char value[32];
+        if (o.found)
+            std::snprintf(value, sizeof value, "%.6g", o.value);
+        else
+            std::snprintf(value, sizeof value, "-");
+        std::snprintf(line, sizeof line,
+                      "%-9s %-42s %12s %18s  %s (%s)\n",
+                      o.gate.id.c_str(),
+                      (o.gate.workload + "." + o.gate.metric).c_str(),
+                      value, bound, o.pass ? "PASS" : "FAIL",
+                      o.detail.c_str());
+        out += line;
+        if (!o.pass)
+            ++failures;
+    }
+    out += std::string(96, '-') + "\n";
+    std::snprintf(line, sizeof line, "%zu/%zu gates passed\n",
+                  outcomes.size() - failures, outcomes.size());
+    out += line;
+    return out;
+}
+
+std::vector<std::string>
+gatedWorkloadNames(const std::vector<Gate> &gates)
+{
+    std::vector<std::string> names;
+    for (const auto &g : gates) {
+        bool seen = false;
+        for (const auto &n : names)
+            seen = seen || n == g.workload;
+        if (!seen)
+            names.push_back(g.workload);
+    }
+    return names;
+}
+
+} // namespace cq::bench

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Named CI performance gates, modeled on the netc harness: each gate
+ * has a stable id (PERF-xx throughput/latency ratios, ACC-xx accuracy
+ * floors, ENER-xx energy-split sanity), points at one workload metric
+ * and carries a min and/or max bound. Gates are data, not code —
+ * loaded from bench/gates.json — so tightening a bound is a reviewed
+ * one-line diff. `cq_bench --ci-check` evaluates them and exits
+ * nonzero on any regression, printing a per-gate pass/fail table.
+ */
+
+#ifndef CQ_BENCH_HARNESS_GATES_H
+#define CQ_BENCH_HARNESS_GATES_H
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.h"
+
+namespace cq::bench {
+
+struct Gate
+{
+    std::string id;       ///< "PERF-01", "ACC-02", "ENER-01", ...
+    std::string workload; ///< registered workload name
+    std::string metric;   ///< metric name within that workload
+    std::string note;     ///< human rationale (paper value, margin)
+    bool hasMin = false;
+    bool hasMax = false;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+struct GateFile
+{
+    bool ok = false;
+    std::string error; ///< parse/validation failure when !ok
+    int schemaVersion = 0;
+    std::vector<Gate> gates;
+};
+
+/** Load + validate bench/gates.json (schema_version, unique ids,
+ *  at least one bound per gate). */
+GateFile loadGates(const std::string &path);
+
+struct GateOutcome
+{
+    Gate gate;
+    bool found = false; ///< workload ran and the metric exists
+    double value = 0.0;
+    bool pass = false;
+    std::string detail; ///< one-line verdict reason
+};
+
+/** Evaluate every gate against @p records. A missing workload or
+ *  metric is a FAIL (a gate silently evaluating nothing is how
+ *  regressions sneak in). */
+std::vector<GateOutcome>
+evaluateGates(const std::vector<Gate> &gates,
+              const std::vector<RunRecord> &records);
+
+/** Render the pass/fail table (one row per gate + a summary line). */
+std::string gateReport(const std::vector<GateOutcome> &outcomes);
+
+/** The workload names gates reference, deduplicated, in gate order. */
+std::vector<std::string>
+gatedWorkloadNames(const std::vector<Gate> &gates);
+
+} // namespace cq::bench
+
+#endif // CQ_BENCH_HARNESS_GATES_H

@@ -1,0 +1,234 @@
+#include "harness/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/argparse.h"
+#include "harness/export.h"
+#include "harness/gates.h"
+#include "harness/runner.h"
+#include "harness/workload.h"
+#include "obs/metrics.h"
+
+namespace cq::bench {
+
+namespace {
+
+constexpr const char *kProg = "cq_bench";
+
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: cq_bench [--list] [--filter SUBSTR[,SUBSTR...]]\n"
+        "                [--workload NAME]... [--repeat N] [--seed "
+        "S]\n"
+        "                [--threads N] [--quick] "
+        "[--format table|json|csv]\n"
+        "                [--out-dir DIR] [--metrics-out FILE]\n"
+        "                [--ci-check] [--gates FILE]\n"
+        "\n"
+        "Runs registered benchmark workloads (the former 13 bench_* "
+        "mains).\n"
+        "Every run writes one BENCH_<area>.json per touched area "
+        "into --out-dir\n"
+        "(default: current directory) with host/threads/seed "
+        "provenance.\n"
+        "\n"
+        "  --list        enumerate workloads (name, area, "
+        "description)\n"
+        "  --filter      substring selection over names and areas\n"
+        "  --workload    exact-name selection (repeatable)\n"
+        "  --repeat      timing repeats per workload (default 1)\n"
+        "  --seed        base seed handed to every workload "
+        "(default 42)\n"
+        "  --threads     thread-pool width (default: CQ_THREADS)\n"
+        "  --quick       reduced sweeps (CI); recorded in "
+        "provenance\n"
+        "  --format      stdout format (default table)\n"
+        "  --metrics-out Prometheus snapshot of bench.* gauges\n"
+        "  --ci-check    run the workloads referenced by --gates,\n"
+        "                print the per-gate table, exit 1 on any "
+        "FAIL\n"
+        "  --gates       gate definitions (default "
+        "bench/gates.json)\n");
+}
+
+struct Options
+{
+    bool list = false;
+    bool ciCheck = false;
+    bool quick = false;
+    std::string filter;
+    std::vector<std::string> workloads;
+    std::string format = "table";
+    std::string outDir = ".";
+    std::string gatesPath = "bench/gates.json";
+    std::string metricsOut;
+    WorkloadContext ctx;
+};
+
+int
+runCiCheck(const Options &opt)
+{
+    const GateFile gf = loadGates(opt.gatesPath);
+    if (!gf.ok) {
+        std::fprintf(stderr, "cq_bench: %s\n", gf.error.c_str());
+        return 3;
+    }
+
+    std::string err;
+    std::vector<const Workload *> selected;
+    for (const auto &name : gatedWorkloadNames(gf.gates)) {
+        const Workload *w = Registry::instance().find(name);
+        if (w == nullptr) {
+            std::fprintf(stderr,
+                         "cq_bench: gates reference unknown workload "
+                         "'%s'\n",
+                         name.c_str());
+            return 3;
+        }
+        selected.push_back(w);
+    }
+
+    WorkloadContext ctx = opt.ctx;
+    ctx.quick = true; // CI bounds are calibrated to hold either way
+    const auto records = runWorkloads(selected, ctx);
+
+    const auto prov = Provenance::capture(ctx);
+    const auto paths =
+        writeBenchJsonFiles(records, prov, opt.outDir, err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "cq_bench: %s\n", err.c_str());
+        return 1;
+    }
+    for (const auto &p : paths)
+        std::fprintf(stderr, "[cq_bench] wrote %s\n", p.c_str());
+
+    const auto outcomes = evaluateGates(gf.gates, records);
+    std::fputs(gateReport(outcomes).c_str(), stdout);
+    for (const auto &o : outcomes)
+        if (!o.pass)
+            return 1;
+    return 0;
+}
+
+} // namespace
+
+int
+benchMain(int argc, char **argv)
+{
+    workloads::registerAll();
+
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() {
+            return args::nextValue(kProg, argc, argv, i);
+        };
+        if (arg == "--list")
+            opt.list = true;
+        else if (arg == "--filter")
+            opt.filter = next();
+        else if (arg == "--workload")
+            opt.workloads.push_back(next());
+        else if (arg == "--repeat")
+            opt.ctx.repeat = static_cast<int>(
+                args::parseU64(kProg, arg, next(), 1, 1000));
+        else if (arg == "--seed")
+            opt.ctx.seed =
+                args::parseU64(kProg, arg, next(), 0, UINT64_MAX);
+        else if (arg == "--threads")
+            opt.ctx.threads = static_cast<unsigned>(
+                args::parseU64(kProg, arg, next(), 1, 256));
+        else if (arg == "--quick")
+            opt.ctx.quick = true;
+        else if (arg == "--format") {
+            opt.format = next();
+            if (opt.format != "table" && opt.format != "json" &&
+                opt.format != "csv")
+                args::failValue(kProg, arg,
+                                "expects table, json or csv",
+                                opt.format);
+        } else if (arg == "--out-dir")
+            opt.outDir = next();
+        else if (arg == "--gates")
+            opt.gatesPath = next();
+        else if (arg == "--metrics-out")
+            opt.metricsOut = next();
+        else if (arg == "--ci-check")
+            opt.ciCheck = true;
+        else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "cq_bench: unknown flag '%s' (see --help)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    if (opt.list) {
+        for (const auto &w : Registry::instance().all())
+            std::printf("%-28s %-12s %s\n", w.name.c_str(),
+                        w.area.c_str(), w.description.c_str());
+        return 0;
+    }
+
+    if (opt.ciCheck)
+        return runCiCheck(opt);
+
+    std::string err;
+    const auto selected =
+        selectWorkloads(opt.workloads, opt.filter, err);
+    if (selected.empty()) {
+        std::fprintf(stderr, "cq_bench: %s\n",
+                     err.empty() ? "no workloads registered"
+                                 : err.c_str());
+        return 2;
+    }
+
+    const auto records = runWorkloads(selected, opt.ctx);
+    const auto prov = Provenance::capture(opt.ctx);
+
+    if (opt.format == "table")
+        std::fputs(toTable(records).c_str(), stdout);
+    else if (opt.format == "csv")
+        std::fputs(toCsv(records).c_str(), stdout);
+    else {
+        // --format=json prints each touched area's document.
+        std::vector<std::string> areas;
+        for (const auto &r : records) {
+            bool seen = false;
+            for (const auto &a : areas)
+                seen = seen || a == r.area;
+            if (!seen)
+                areas.push_back(r.area);
+        }
+        for (const auto &a : areas)
+            std::fputs(toBenchJson(records, prov, a).c_str(), stdout);
+    }
+
+    const auto paths =
+        writeBenchJsonFiles(records, prov, opt.outDir, err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "cq_bench: %s\n", err.c_str());
+        return 1;
+    }
+    for (const auto &p : paths)
+        std::fprintf(stderr, "[cq_bench] wrote %s\n", p.c_str());
+
+    if (!opt.metricsOut.empty()) {
+        obs::MetricRegistry::instance().writeProm(opt.metricsOut);
+        std::fprintf(stderr, "[cq_bench] metrics -> %s\n",
+                     opt.metricsOut.c_str());
+    }
+    return 0;
+}
+
+} // namespace cq::bench

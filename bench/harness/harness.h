@@ -1,0 +1,19 @@
+/**
+ * @file
+ * The cq_bench driver: flag parsing, workload selection, execution,
+ * export and CI gate checking. Split from tools/cq_bench.cc so the
+ * whole surface is linkable into tests.
+ */
+
+#ifndef CQ_BENCH_HARNESS_HARNESS_H
+#define CQ_BENCH_HARNESS_HARNESS_H
+
+namespace cq::bench {
+
+/** Exit codes: 0 ok, 1 gate regression / run failure, 2 bad usage,
+ *  3 malformed gates file. */
+int benchMain(int argc, char **argv);
+
+} // namespace cq::bench
+
+#endif // CQ_BENCH_HARNESS_HARNESS_H

@@ -1,0 +1,33 @@
+#include "harness/workload.h"
+
+#include "common/logging.h"
+
+namespace cq::bench {
+
+Registry &
+Registry::instance()
+{
+    static Registry *r = new Registry; // leaky singleton, like the
+    return *r;                         // obs registries
+}
+
+void
+Registry::add(Workload w)
+{
+    CQ_ASSERT_MSG(!w.name.empty() && !w.area.empty() && w.run,
+                  "workload needs a name, an area and a function");
+    CQ_ASSERT_MSG(find(w.name) == nullptr,
+                  "duplicate workload registration");
+    workloads_.push_back(std::move(w));
+}
+
+const Workload *
+Registry::find(const std::string &name) const
+{
+    for (const auto &w : workloads_)
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+} // namespace cq::bench

@@ -1,0 +1,127 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/threadpool.h"
+#include "obs/cpu_time.h"
+#include "obs/metrics.h"
+
+namespace cq::bench {
+
+namespace {
+
+void
+mirrorToObsRegistry(const RunRecord &rec)
+{
+    auto &reg = obs::MetricRegistry::instance();
+    const std::string prefix = "bench." + rec.name + ".";
+    for (const auto &m : rec.result.metrics)
+        reg.gauge(prefix + m.name).set(m.value);
+    reg.gauge(prefix + "wall_ms").set(rec.timing.wallMs);
+    reg.gauge(prefix + "cpu_ms").set(rec.timing.processCpuMs);
+}
+
+} // namespace
+
+std::vector<RunRecord>
+runWorkloads(const std::vector<const Workload *> &selected,
+             const WorkloadContext &ctx)
+{
+    auto &pool = ThreadPool::instance();
+    if (ctx.threads > 0)
+        pool.setNumThreads(ctx.threads);
+
+    std::vector<RunRecord> out;
+    out.reserve(selected.size());
+    for (const Workload *w : selected) {
+        std::fprintf(stderr, "[cq_bench] %s (%s)%s...\n",
+                     w->name.c_str(), w->area.c_str(),
+                     ctx.quick ? " [quick]" : "");
+        RunRecord rec;
+        rec.name = w->name;
+        rec.area = w->area;
+        rec.description = w->description;
+        rec.paperRef = w->paperRef;
+
+        const int repeats = ctx.repeat > 0 ? ctx.repeat : 1;
+        double wallSum = 0.0, wallMin = 0.0;
+        for (int r = 0; r < repeats; ++r) {
+            const auto t0 = obs::sampleClocks();
+            rec.result = w->run(ctx);
+            const auto dt = obs::elapsedSince(t0);
+            wallSum += dt.wallMs;
+            wallMin = r == 0 ? dt.wallMs
+                             : std::min(wallMin, dt.wallMs);
+            rec.timing.wallMs = dt.wallMs;
+            rec.timing.processCpuMs = dt.processCpuMs;
+            rec.timing.mainThreadCpuMs = dt.threadCpuMs;
+            rec.timing.cpuUtilization = dt.cpuUtilization();
+        }
+        rec.timing.repeats = repeats;
+        rec.timing.wallMsMin = wallMin;
+        rec.timing.wallMsMean = wallSum / repeats;
+
+        mirrorToObsRegistry(rec);
+        out.push_back(std::move(rec));
+    }
+
+    if (ctx.threads > 0)
+        pool.setNumThreads(0); // back to the CQ_THREADS default
+    return out;
+}
+
+std::vector<const Workload *>
+selectWorkloads(const std::vector<std::string> &exactNames,
+                const std::string &filter, std::string &err)
+{
+    const auto &all = Registry::instance().all();
+    std::vector<const Workload *> out;
+
+    if (!exactNames.empty()) {
+        for (const auto &name : exactNames) {
+            const Workload *w = Registry::instance().find(name);
+            if (w == nullptr) {
+                err = "unknown workload '" + name +
+                      "' (see --list)";
+                return {};
+            }
+            out.push_back(w);
+        }
+        return out;
+    }
+
+    if (filter.empty()) {
+        for (const auto &w : all)
+            out.push_back(&w);
+        return out;
+    }
+
+    // Comma-separated substrings, OR-combined.
+    std::vector<std::string> terms;
+    std::size_t start = 0;
+    while (start <= filter.size()) {
+        const std::size_t comma = filter.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? filter.size() : comma;
+        if (end > start)
+            terms.push_back(filter.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    for (const auto &w : all) {
+        for (const auto &t : terms) {
+            if (w.name.find(t) != std::string::npos ||
+                w.area.find(t) != std::string::npos) {
+                out.push_back(&w);
+                break;
+            }
+        }
+    }
+    if (out.empty())
+        err = "filter '" + filter + "' matches no workload";
+    return out;
+}
+
+} // namespace cq::bench

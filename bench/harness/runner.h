@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Executes registered workloads under the harness timing contract:
+ * every run records wall time AND process-CPU time (obs/cpu_time.h),
+ * so thread-scaling claims are honest on any host — on a 1-core
+ * container a 4-thread sweep shows ~1x wall speedup but the CPU-time
+ * column still proves where the cycles went. Results are mirrored
+ * into the src/obs metrics registry (`bench.<workload>.<metric>`
+ * gauges) so one Prometheus/JSON snapshot carries bench numbers next
+ * to the runtime counters.
+ */
+
+#ifndef CQ_BENCH_HARNESS_RUNNER_H
+#define CQ_BENCH_HARNESS_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "harness/workload.h"
+
+namespace cq::bench {
+
+/** Harness-measured timing of one workload (across ctx.repeat runs). */
+struct RunTiming
+{
+    double wallMs = 0.0;       ///< last repeat
+    double wallMsMin = 0.0;    ///< best of repeats
+    double wallMsMean = 0.0;
+    double processCpuMs = 0.0; ///< all threads, last repeat
+    double mainThreadCpuMs = 0.0;
+    double cpuUtilization = 0.0; ///< processCpu / wall (busy cores)
+    int repeats = 1;
+};
+
+/** One workload's metadata, metrics and timing after execution. */
+struct RunRecord
+{
+    std::string name;
+    std::string area;
+    std::string description;
+    std::string paperRef;
+    WorkloadResult result;
+    RunTiming timing;
+};
+
+/**
+ * Run @p selected workloads (in registration order) under @p ctx.
+ * Applies ctx.threads to the shared pool for the duration (restoring
+ * the default afterwards) and emits a short progress line per
+ * workload to stderr.
+ */
+std::vector<RunRecord>
+runWorkloads(const std::vector<const Workload *> &selected,
+             const WorkloadContext &ctx);
+
+/**
+ * Select workloads: exact names win; otherwise any registered name
+ * containing one of the comma-separated @p filter substrings (empty
+ * filter = everything). Unknown exact names report via @p err.
+ */
+std::vector<const Workload *>
+selectWorkloads(const std::vector<std::string> &exactNames,
+                const std::string &filter, std::string &err);
+
+} // namespace cq::bench
+
+#endif // CQ_BENCH_HARNESS_RUNNER_H

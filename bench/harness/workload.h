@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Core types of the unified benchmark harness: a workload is a named,
+ * areaed function from a run context to a set of named metrics. The
+ * 13 former one-off bench mains are registered as workloads (see
+ * bench/workloads/), the cq_bench driver runs them, and the exporters
+ * turn the results into tables, CSV, or the per-area BENCH_*.json
+ * trajectory documents that CI gates against (bench/gates.json).
+ */
+
+#ifndef CQ_BENCH_HARNESS_WORKLOAD_H
+#define CQ_BENCH_HARNESS_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cq::bench {
+
+/** Knobs every workload receives. */
+struct WorkloadContext
+{
+    /** Base seed for any randomness the workload uses. Two runs with
+     *  the same seed must produce identical non-timing metrics (the
+     *  determinism contract, enforced by tests/test_bench_harness). */
+    std::uint64_t seed = 42;
+    /** Repeat count for the timing loop around the workload; the
+     *  harness keeps min/mean wall time across repeats. */
+    int repeat = 1;
+    /** Thread-pool width; 0 keeps the CQ_THREADS default. */
+    unsigned threads = 0;
+    /** Reduced problem sizes / sweep points for CI. Metrics that
+     *  gates reference must stay within their bounds in both modes
+     *  (bounds in bench/gates.json are calibrated for that). */
+    bool quick = false;
+};
+
+/**
+ * One named scalar result. `timing` marks values measured on wall or
+ * CPU clocks (throughput, latency): they vary run to run and are
+ * excluded from the determinism comparison; everything else must be
+ * bit-reproducible for a fixed seed.
+ */
+struct MetricValue
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit; ///< "ms", "x", "%", "pJ", ... (display only)
+    bool timing = false;
+};
+
+/** What a workload hands back: ordered metrics plus a one-line note
+ *  tying the numbers to the paper claim they reproduce. */
+struct WorkloadResult
+{
+    std::vector<MetricValue> metrics;
+    std::string notes;
+
+    void set(const std::string &name, double value,
+             const std::string &unit = "")
+    {
+        metrics.push_back({name, value, unit, false});
+    }
+    void setTiming(const std::string &name, double value,
+                   const std::string &unit = "ms")
+    {
+        metrics.push_back({name, value, unit, true});
+    }
+
+    const MetricValue *find(const std::string &name) const
+    {
+        for (const auto &m : metrics)
+            if (m.name == name)
+                return &m;
+        return nullptr;
+    }
+};
+
+using WorkloadFn =
+    std::function<WorkloadResult(const WorkloadContext &)>;
+
+/** A registered workload. `area` buckets results into one
+ *  BENCH_<area>.json document (perf / energy / accuracy /
+ *  resilience / kernels). */
+struct Workload
+{
+    std::string name;
+    std::string area;
+    std::string description;
+    std::string paperRef;
+    WorkloadFn run;
+};
+
+/** Process-wide workload registry (explicit registration: the driver
+ *  calls workloads::registerAll() once at startup). */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Registers @p w; duplicate names abort (programming error). */
+    void add(Workload w);
+
+    const std::vector<Workload> &all() const { return workloads_; }
+    const Workload *find(const std::string &name) const;
+
+    /** Test support: drop every registration. */
+    void clear() { workloads_.clear(); }
+
+  private:
+    std::vector<Workload> workloads_;
+};
+
+namespace workloads {
+/** Register the full workload set (everything under
+ *  bench/workloads/). Safe to call more than once per process. */
+void registerAll();
+} // namespace workloads
+
+} // namespace cq::bench
+
+#endif // CQ_BENCH_HARNESS_WORKLOAD_H

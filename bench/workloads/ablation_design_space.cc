@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Design-space ablations beyond the paper's figures (DESIGN.md
+ * "ours" row): sensitivity of Cambricon-Q's ResNet-18 training step
+ * to (1) memory bandwidth, (2) SQU quant-unit width under 4-way
+ * E2BQM, and (3) on-chip buffer capacity.
+ */
+
+#include <string>
+
+#include "bench_util.h"
+#include "harness/workload.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+WorkloadResult
+run(const WorkloadContext &ctx)
+{
+    const compiler::WorkloadIR ir = compiler::buildResNet18();
+    const compiler::WorkloadIR alex = compiler::buildAlexNet();
+
+    WorkloadResult out;
+
+    // (1) memory bandwidth scaling (channels)
+    double baseMs = 0.0, baseAlex = 0.0;
+    for (unsigned ch : {1u, 2u, 4u}) {
+        if (ctx.quick && ch == 2)
+            continue;
+        auto cfg = arch::CambriconQConfig::edge();
+        cfg.dram = dram::DramConfig::scaled(ch);
+        const auto r = runCambriconQ(ir, cfg);
+        const auto ra = runCambriconQ(alex, cfg);
+        if (ch == 1) {
+            baseMs = r.timeMs;
+            baseAlex = ra.timeMs;
+        }
+        const std::string tag = std::to_string(ch) + "x";
+        out.set("bw_gain_resnet18_" + tag, baseMs / r.timeMs, "x");
+        out.set("bw_gain_alexnet_" + tag, baseAlex / ra.timeMs, "x");
+    }
+
+    // (2) SQU quant width under 4-way E2BQM
+    double squBase = 0.0;
+    for (unsigned width : {64u, 32u, 16u}) {
+        if (ctx.quick && width == 32)
+            continue;
+        auto cfg = arch::CambriconQConfig::edge();
+        cfg.squQuantBytesPerCycle = width;
+        const auto r = runCambriconQ(ir, cfg);
+        if (width == 64)
+            squBase = r.timeMs;
+        out.set("squ_width_slowdown_" + std::to_string(width) + "B",
+                r.timeMs / squBase, "x");
+    }
+
+    // (3) on-chip buffer capacity
+    double bufBase = 0.0;
+    for (unsigned scale : {1u, 2u, 4u}) {
+        if (ctx.quick && scale == 2)
+            continue;
+        auto cfg = arch::CambriconQConfig::edge();
+        cfg.nbinBytes *= scale;
+        cfg.sbBytes *= scale;
+        cfg.nboutBytes *= scale;
+        const auto r = runCambriconQ(ir, cfg);
+        if (scale == 1)
+            bufBase = r.timeMs;
+        out.set("buffer_gain_" + std::to_string(scale) + "x",
+                bufBase / r.timeMs, "x");
+    }
+
+    out.notes = "ResNet-18 compute-bound at edge BW; throttled SQU "
+                "width surfaces as Q-phase time; buffer gains "
+                "marginal";
+    return out;
+}
+
+} // namespace
+
+void
+registerAblationDesignSpace()
+{
+    Registry::instance().add(
+        {"ablation_design_space", "perf",
+         "bandwidth / SQU-width / buffer-capacity sensitivity on "
+         "ResNet-18",
+         "supplementary to Cambricon-Q, ISCA'21", run});
+}
+
+} // namespace cq::bench::workloads

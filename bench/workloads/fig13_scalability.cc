@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 13 + Sec. VII-A: performance scalability. Cambricon-Q-T
+ * (8 arrays) against the GTX 1080Ti, Cambricon-Q-V (8x8 array mesh)
+ * against the V100, and the edge configuration against the Jetson
+ * TX2, on ResNet-18 and the PTB LSTM.
+ */
+
+#include <algorithm>
+#include <string>
+
+#include "bench_util.h"
+#include "harness/workload.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+WorkloadResult
+run(const WorkloadContext &ctx)
+{
+    struct Pair
+    {
+        arch::CambriconQConfig cfg;
+        baseline::GpuSpec gpu;
+        const char *tag;
+    };
+    const Pair pairs[] = {
+        {arch::CambriconQConfig::edge(),
+         baseline::GpuSpec::jetsonTx2(), "edge"},
+        {arch::CambriconQConfig::throughputT(),
+         baseline::GpuSpec::gtx1080Ti(), "qt"},
+        {arch::CambriconQConfig::throughputV(),
+         baseline::GpuSpec::v100(), "qv"},
+    };
+
+    WorkloadResult out;
+    double minResnet = 1e300, minLstm = 1e300;
+    for (const char *which :
+         {static_cast<const char *>("resnet18"), "lstm"}) {
+        const bool isResnet = std::string(which) == "resnet18";
+        if (ctx.quick && !isResnet)
+            continue; // quick mode: ResNet-18 column only
+        const compiler::WorkloadIR ir = isResnet
+                                            ? compiler::buildResNet18()
+                                            : compiler::buildPtbLstm();
+        for (const auto &p : pairs) {
+            const auto cqRes = runCambriconQ(ir, p.cfg);
+            const auto gpuRes = runGpu(ir, p.gpu, true);
+            const double speedup = gpuRes.timeMs / cqRes.timeMs;
+            out.set(std::string("speedup_") + which + "_" + p.tag,
+                    speedup, "x");
+            if (isResnet)
+                minResnet = std::min(minResnet, speedup);
+            else
+                minLstm = std::min(minLstm, speedup);
+        }
+    }
+    out.set("speedup_resnet18_min", minResnet, "x");
+    if (!ctx.quick)
+        out.set("speedup_lstm_min", minLstm, "x");
+    out.notes = "paper shape: each scaled config outruns its "
+                "peak-comparable GPU on both networks";
+    return out;
+}
+
+} // namespace
+
+void
+registerFig13Scalability()
+{
+    Registry::instance().add(
+        {"fig13_scalability", "perf",
+         "scaled Cambricon-Q-T/-V configs vs peak-comparable GPUs",
+         "Cambricon-Q, ISCA'21, Fig. 13 + Sec. VII-A", run});
+}
+
+} // namespace cq::bench::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 3: on a CPU+GPU platform, statistic-quantized training is
+ * *slower* than ordinary FP32 training (1.09x~1.78x in the paper)
+ * because the GPU lacks on-the-fly statistic/quantization hardware
+ * and must round-trip through the host.
+ */
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "harness/workload.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+WorkloadResult
+run(const WorkloadContext &)
+{
+    const auto gpu = baseline::GpuSpec::jetsonTx2();
+
+    double minRatio = 1e9, maxRatio = 0.0;
+    std::size_t networks = 0;
+    WorkloadResult out;
+    for (const auto &ir : compiler::allBenchmarks()) {
+        const auto fp32 = baseline::simulateGpu(ir, gpu, false);
+        const auto quant = baseline::simulateGpu(ir, gpu, true);
+        const double ratio = quant.timeMs / fp32.timeMs;
+        minRatio = std::min(minRatio, ratio);
+        maxRatio = std::max(maxRatio, ratio);
+        out.set("slowdown_" + ir.name, ratio, "x");
+        ++networks;
+    }
+    out.set("networks", static_cast<double>(networks));
+    out.set("slowdown_min", minRatio, "x");
+    out.set("slowdown_max", maxRatio, "x");
+    out.set("host_quant_roundtrip_ms", gpu.hostQuantMs, "ms");
+    out.notes = "paper band: 1.09x .. 1.78x; host round trips erase "
+                "the INT8 benefit on GPU";
+    return out;
+}
+
+} // namespace
+
+void
+registerFig3GpuQuantOverhead()
+{
+    Registry::instance().add(
+        {"fig3_gpu_quant_overhead", "perf",
+         "statistic-quantized vs FP32 training slowdown on the GPU "
+         "baseline",
+         "Cambricon-Q, ISCA'21, Fig. 3", run});
+}
+
+} // namespace cq::bench::workloads

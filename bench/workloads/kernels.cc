@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Microbenchmarks of the software kernels the repository is built
+ * on, re-hosted from the former google-benchmark main onto the
+ * harness's own repeat/clock machinery: streaming statistics, LDQ /
+ * E2BQM quantization, GEMM with a thread-scaling sweep, the
+ * bit-serial PE datapath, the NDPO update and the DRAM controller's
+ * transfer hot path.
+ *
+ * Every clock-derived metric is recorded with the timing flag (so
+ * determinism checks skip it) and the thread sweeps record wall AND
+ * process-CPU milliseconds side by side: on a 1-core CI box the wall
+ * ratio is flat while the CPU ratio shows the true parallel work,
+ * which keeps the reported "speedup" honest.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/ndp_engine.h"
+#include "arch/pe_array.h"
+#include "common/rng.h"
+#include "common/threadpool.h"
+#include "dram/dram_controller.h"
+#include "harness/workload.h"
+#include "nn/optimizer.h"
+#include "obs/cpu_time.h"
+#include "quant/block_quant.h"
+#include "quant/e2bqm.h"
+#include "quant/statistics.h"
+#include "tensor/tensor_ops.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+Tensor
+gradientTensor(std::size_t n)
+{
+    Rng rng(7);
+    Tensor x({n});
+    x.fillGaussian(rng, 0.0f, 0.01f);
+    return x;
+}
+
+/** Run fn() `iters` times, return the wall/CPU interval. */
+obs::TimeInterval
+timeIt(int iters, const std::function<void()> &fn)
+{
+    const obs::TimeSample begin = obs::sampleClocks();
+    for (int i = 0; i < iters; ++i)
+        fn();
+    return obs::elapsedSince(begin);
+}
+
+/** Record wall + process-CPU ms under <name>_wall_ms/_cpu_ms. */
+void
+recordInterval(WorkloadResult &out, const std::string &name,
+               const obs::TimeInterval &t)
+{
+    out.setTiming(name + "_wall_ms", t.wallMs);
+    out.setTiming(name + "_cpu_ms", t.processCpuMs);
+}
+
+// ---------------- quantization kernels ----------------
+
+WorkloadResult
+runQuant(const WorkloadContext &ctx)
+{
+    WorkloadResult out;
+    const int iters = ctx.quick ? 4 : 16;
+
+    {
+        const Tensor x = gradientTensor(1 << 16);
+        double sink = 0.0;
+        const auto t = timeIt(iters, [&] {
+            quant::MaxAbsStat stat;
+            for (std::size_t i = 0; i < x.numel(); ++i)
+                stat.observe(x[i]);
+            sink += stat.value();
+        });
+        recordInterval(out, "maxabs_64k", t);
+        out.set("maxabs_value", sink / iters);
+    }
+    {
+        const Tensor x = gradientTensor(1 << 16);
+        std::size_t sink = 0;
+        const auto t = timeIt(iters, [&] {
+            sink += quant::ldqQuantize(x, 1024, 8).storageBytes();
+        });
+        recordInterval(out, "ldq_quantize_64k_k1024", t);
+        out.set("ldq_storage_bytes",
+                static_cast<double>(sink / iters), "B");
+    }
+    {
+        const Tensor x = gradientTensor(4096);
+        const auto cfg = quant::E2bqmConfig::clippingLadder(8);
+        int sink = 0;
+        const auto t = timeIt(iters, [&] {
+            sink += quant::e2bqmQuantize(x, cfg).selected;
+        });
+        recordInterval(out, "e2bqm_4way_4k", t);
+        out.set("e2bqm_selected_sum", static_cast<double>(sink));
+    }
+
+    // HQT thread-scaling sweep over the shared pool.
+    const std::vector<unsigned> widths =
+        ctx.quick ? std::vector<unsigned>{1, 2}
+                  : std::vector<unsigned>{1, 2, 4, 8};
+    const Tensor x = gradientTensor(1 << 18);
+    const auto cfg = quant::E2bqmConfig::clippingLadder(8);
+    for (unsigned w : widths) {
+        ThreadPool::instance().setNumThreads(w);
+        const auto t = timeIt(iters, [&] {
+            Tensor q = quant::fakeQuantizeHqt(x, 1024, cfg);
+        });
+        recordInterval(out, "hqt_threads" + std::to_string(w), t);
+    }
+    ThreadPool::instance().setNumThreads(0);
+    out.notes = "HQT sweep: wall vs CPU ms per pool width over a "
+                "256k-element fake-quantize";
+    return out;
+}
+
+// ---------------- GEMM ----------------
+
+WorkloadResult
+runGemm(const WorkloadContext &ctx)
+{
+    WorkloadResult out;
+    const int iters = ctx.quick ? 2 : 8;
+
+    for (std::size_t n : {std::size_t(64), std::size_t(128),
+                          std::size_t(256)}) {
+        if (ctx.quick && n == 256)
+            continue;
+        Rng rng(3);
+        Tensor a({n, n}), b({n, n});
+        a.fillGaussian(rng, 0.0f, 1.0f);
+        b.fillGaussian(rng, 0.0f, 1.0f);
+        float sink = 0.0f;
+        const auto t = timeIt(iters, [&] {
+            Tensor c = matmul(a, b);
+            sink += c[0];
+        });
+        recordInterval(out, "gemm_n" + std::to_string(n), t);
+    }
+
+    // Thread-scaling sweep: wall AND CPU ms at each pool width. The
+    // wall ratio is the delivered speedup; the CPU ratio exposes
+    // oversubscription (CPU ms growing while wall ms stalls).
+    const std::size_t n = ctx.quick ? 256 : 512;
+    const std::vector<unsigned> widths =
+        ctx.quick ? std::vector<unsigned>{1, 2}
+                  : std::vector<unsigned>{1, 2, 4, 8};
+    Rng rng(3);
+    Tensor a({n, n}), b({n, n});
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    b.fillGaussian(rng, 0.0f, 1.0f);
+    double wall1 = 0.0;
+    for (unsigned w : widths) {
+        ThreadPool::instance().setNumThreads(w);
+        float sink = 0.0f;
+        const auto t = timeIt(ctx.quick ? 2 : 3, [&] {
+            Tensor c = matmul(a, b);
+            sink += c[0];
+        });
+        const std::string tag =
+            "gemm_scaling_threads" + std::to_string(w);
+        recordInterval(out, tag, t);
+        if (w == 1)
+            wall1 = t.wallMs;
+        else
+            out.setTiming(tag + "_speedup", wall1 / t.wallMs, "x");
+    }
+    ThreadPool::instance().setNumThreads(0);
+    out.set("gemm_scaling_n", static_cast<double>(n));
+    out.notes = "matmul over the shared pool; speedup is wall-clock "
+                "vs the 1-thread width";
+    return out;
+}
+
+// ---------------- architecture-model hot paths ----------------
+
+WorkloadResult
+runArch(const WorkloadContext &ctx)
+{
+    WorkloadResult out;
+    const int iters = ctx.quick ? 8 : 64;
+
+    {
+        Rng rng(5);
+        std::vector<std::int32_t> a(4096), b(4096);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            a[i] = static_cast<std::int32_t>(rng.below(255)) - 127;
+            b[i] = static_cast<std::int32_t>(rng.below(255)) - 127;
+        }
+        std::int64_t sink = 0;
+        const auto t = timeIt(iters, [&] {
+            sink += arch::PeArray::dotProduct(a, 8, b, 8);
+        });
+        recordInterval(out, "bitserial_dot_4k", t);
+        out.set("bitserial_dot_value",
+                static_cast<double>(sink / iters));
+    }
+    {
+        nn::OptimizerConfig cfg;
+        cfg.kind = nn::OptimizerKind::Adam;
+        arch::NdpEngine ndp;
+        ndp.configure(nn::NdpoConstants::fromConfig(cfg));
+        std::vector<float> w(1 << 16, 0.5f), m(1 << 16, 0.0f),
+            v(1 << 16, 0.0f), g(1 << 16, 0.01f);
+        const auto t = timeIt(iters, [&] {
+            ndp.weightGradientStore(w, m, v, g);
+        });
+        recordInterval(out, "ndpo_update_64k", t);
+        out.set("ndpo_final_w0", static_cast<double>(w[0]));
+    }
+    {
+        dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+        Tick t0 = 0;
+        Addr addr = 0;
+        const auto t = timeIt(iters * 8, [&] {
+            t0 = ctrl.transfer(t0, addr, 1 << 16, false);
+            addr += 1 << 16;
+        });
+        recordInterval(out, "dram_transfer_64k", t);
+        out.set("dram_final_tick", static_cast<double>(t0));
+    }
+    {
+        dram::DramController ctrl(dram::DramConfig::lpddr4_2133());
+        Tick t0 = 0;
+        const auto t = timeIt(iters * 8, [&] {
+            t0 = ctrl.ndpUpdate(t0, 0, 1 << 14, 4);
+        });
+        recordInterval(out, "dram_ndp_update_16k", t);
+        out.set("dram_ndp_final_tick", static_cast<double>(t0));
+    }
+    out.notes = "bit-serial PE dot product, NDPO update and DRAM "
+                "controller hot paths";
+    return out;
+}
+
+} // namespace
+
+void
+registerKernels()
+{
+    Registry::instance().add(
+        {"kernels_quant", "kernels",
+         "statistic/LDQ/E2BQM/HQT kernel timings with a pool-width "
+         "sweep",
+         "repository kernels (supplementary)", runQuant});
+    Registry::instance().add(
+        {"kernels_gemm", "kernels",
+         "GEMM timings and the thread-scaling wall-vs-CPU sweep",
+         "repository kernels (supplementary)", runGemm});
+    Registry::instance().add(
+        {"kernels_arch", "kernels",
+         "bit-serial PE, NDPO update and DRAM controller hot paths",
+         "repository kernels (supplementary)", runArch});
+}
+
+} // namespace cq::bench::workloads

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table I: per-operation energy at 45 nm. The energy model's
+ * constants are compared against the paper's values (DRAM rows use
+ * midpoints of the published ranges) and the relative-cost column is
+ * recomputed against the INT8 ADD baseline exactly as the paper does.
+ */
+
+#include "bench_util.h"
+#include "energy/energy_model.h"
+#include "harness/workload.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+using namespace cq::energy;
+
+WorkloadResult
+run(const WorkloadContext &)
+{
+    using namespace op;
+    struct Row
+    {
+        const char *metric;
+        double ours;  // pJ
+        double paper; // pJ (Table I; mid of ranges for DRAM)
+    };
+    const Row rows[] = {
+        {"fp32_add_pj", kFp32Add, 0.9},
+        {"fp32_mul_pj", kFp32Mul, 3.7},
+        {"int32_add_pj", kInt32Add, 0.1},
+        {"int32_mul_pj", kInt32Mul, 3.1},
+        {"dram32_pj", dramAccess(32), 975.0},
+        {"fp16_add_pj", kFp16Add, 0.4},
+        {"fp16_mul_pj", kFp16Mul, 1.1},
+        {"int16_add_pj", kInt16Add, 0.05},
+        {"int16_mul_pj", kInt16Mul, 1.55},
+        {"dram16_pj", dramAccess(16), 490.0},
+        {"int8_add_pj", kInt8Add, 0.03},
+        {"int8_mul_pj", kInt8Mul, 0.2},
+        {"dram8_pj", dramAccess(8), 245.0},
+    };
+
+    WorkloadResult out;
+    const double base = kInt8Add; // the paper's "relative cost 1"
+    double maxRelErr = 0.0;
+    for (const auto &r : rows) {
+        out.set(r.metric, r.ours, "pJ");
+        const double err =
+            r.paper > 0.0 ? std::abs(r.ours - r.paper) / r.paper : 0.0;
+        maxRelErr = std::max(maxRelErr, err);
+    }
+    out.set("rel_cost_fp32_mul", op::kFp32Mul / base, "x");
+    out.set("rel_cost_int8_mul", op::kInt8Mul / base, "x");
+    out.set("max_rel_err_vs_paper", maxRelErr);
+    out.notes = "energy-model constants vs Table I; relative costs "
+                "against the INT8 ADD baseline";
+    return out;
+}
+
+} // namespace
+
+void
+registerTable1OpEnergy()
+{
+    Registry::instance().add(
+        {"table1_op_energy", "energy",
+         "per-operation energy at 45 nm vs the paper's Table I",
+         "Cambricon-Q, ISCA'21, Table I", run});
+}
+
+} // namespace cq::bench::workloads

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table VII: area and power of every Cambricon-Q module at 45 nm,
+ * plus the derived Sec. VI-A claims (extra area/power of the
+ * quantization support, NDP engine cost, peak efficiency).
+ */
+
+#include "bench_util.h"
+#include "energy/energy_model.h"
+#include "harness/workload.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+WorkloadResult
+run(const WorkloadContext &)
+{
+    const auto hw = energy::HwCharacteristics::cambriconQ();
+
+    WorkloadResult out;
+    out.set("core_area_mm2", hw.coreAreaMm2(), "mm^2");
+    out.set("core_power_mw", hw.corePowerMw(), "mW");
+    out.set("ndp_area_mm2", hw.ndpAreaMm2(), "mm^2");
+    out.set("ndp_power_mw", hw.ndpPowerMw(), "mW");
+
+    // Sec. VI-A derived claims: quantization support costs only
+    // 5.87% extra area (0.51 mm^2) / 13.95% extra power (124.36 mW).
+    double qArea = 0.0, qPower = 0.0;
+    for (const auto &m : hw.coreModules) {
+        if (m.name == "SQU" || m.name == "QBC") {
+            qArea += m.areaMm2;
+            qPower += m.powerMw;
+        }
+    }
+    out.set("quant_support_area_mm2", qArea, "mm^2");
+    out.set("quant_support_area_pct",
+            100.0 * qArea / hw.coreAreaMm2(), "%");
+    out.set("quant_support_power_mw", qPower, "mW");
+    out.set("quant_support_power_pct",
+            100.0 * qPower / hw.corePowerMw(), "%");
+    out.notes = "paper: quant support 5.87% area / 13.95% power; "
+                "NDP 0.49 mm^2 / 138.94 mW";
+    return out;
+}
+
+} // namespace
+
+void
+registerTable7HwCharacteristics()
+{
+    Registry::instance().add(
+        {"table7_hw_characteristics", "energy",
+         "module area/power at 45 nm and Sec. VI-A derived claims",
+         "Cambricon-Q, ISCA'21, Table VII + Sec. VI-A", run});
+}
+
+} // namespace cq::bench::workloads

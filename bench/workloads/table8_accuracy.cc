@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Table VIII: training accuracy of FP32 vs Zhu-2019 vs Zhang-2020,
+ * each with and without HQT, plus the extended Table III coverage
+ * (Wang'18 FP8, Yang'20 INT8).
+ *
+ * Substitution (see DESIGN.md): ImageNet / WMT17 / PennTreeBank are
+ * replaced by procedurally generated tasks small enough to train on
+ * a CPU in seconds. The quantity under test is the paper's: the
+ * accuracy *delta* between quantization policies on identical
+ * seeds/data. Quick mode trains two CNN stand-ins on the main three
+ * policies only.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/workload.h"
+#include "nn/activation.h"
+#include "nn/attention.h"
+#include "nn/conv2d.h"
+#include "nn/datasets.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/pooling.h"
+#include "nn/quant_trainer.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+/** CNN stand-in parameterized by width/depth. */
+nn::Network
+makeCnn(std::uint64_t seed, std::size_t c1, std::size_t c2, int depth,
+        std::size_t classes)
+{
+    Rng rng(seed);
+    nn::Network net;
+    net.add(std::make_unique<nn::Conv2d>(
+        "conv1", Conv2dGeometry{1, c1, 3, 3, 1, 1}, rng));
+    net.add(std::make_unique<nn::Activation>("relu1",
+                                             nn::ActKind::ReLU));
+    net.add(std::make_unique<nn::MaxPool2d>("pool1", 2, 2));
+    for (int d = 0; d < depth; ++d) {
+        const std::string tag = std::to_string(d + 2);
+        net.add(std::make_unique<nn::Conv2d>(
+            "conv" + tag,
+            Conv2dGeometry{d == 0 ? c1 : c2, c2, 3, 3, 1, 1}, rng));
+        net.add(std::make_unique<nn::Activation>("relu" + tag,
+                                                 nn::ActKind::ReLU));
+    }
+    net.add(std::make_unique<nn::GlobalAvgPool>("gap"));
+    net.add(std::make_unique<nn::Linear>("fc", c2, classes, rng));
+    return net;
+}
+
+double
+trainCnn(const quant::AlgorithmConfig &algo, std::size_t c1,
+         std::size_t c2, int depth, int steps)
+{
+    const std::size_t classes = 4;
+    nn::PatternImageDataset data(classes, 1, 12, 12, 1.2, 1234);
+    nn::Network net = makeCnn(11, c1, c2, depth, classes);
+    nn::QuantTrainerConfig cfg;
+    cfg.algorithm = algo;
+    cfg.optimizer.kind = nn::OptimizerKind::Adam;
+    cfg.optimizer.lr = 3e-3;
+    nn::QuantTrainer trainer(net, cfg);
+    for (int step = 0; step < steps; ++step) {
+        const auto batch = data.sample(32);
+        trainer.stepClassification(batch.inputs, batch.labels);
+    }
+    const auto eval = data.evalSet(512);
+    return 100.0 * trainer.evalAccuracy(eval.inputs, eval.labels);
+}
+
+double
+trainTransformer(const quant::AlgorithmConfig &algo, int steps)
+{
+    const std::size_t classes = 4, vocab = 12, seq = 12, dim = 32;
+    const std::size_t batch = 16;
+    nn::SequenceRuleDataset data(classes, vocab, seq, 77);
+    Rng rng(13);
+    nn::Network net;
+    net.add(std::make_unique<nn::Linear>("embed", vocab, dim, rng));
+    net.add(std::make_unique<nn::PositionalEncoding>("pos", seq, dim));
+    net.add(std::make_unique<nn::TransformerBlock>(
+        "block", batch, seq, dim, 4, 2 * dim, rng));
+    net.add(std::make_unique<nn::Linear>("head", dim, classes, rng));
+
+    nn::QuantTrainerConfig cfg;
+    cfg.algorithm = algo;
+    cfg.optimizer.kind = nn::OptimizerKind::Adam;
+    cfg.optimizer.lr = 1e-3;
+    nn::QuantTrainer trainer(net, cfg);
+
+    const auto expand = [&](const std::vector<int> &labels) {
+        std::vector<int> out;
+        out.reserve(labels.size() * seq);
+        for (int l : labels)
+            for (std::size_t t = 0; t < seq; ++t)
+                out.push_back(l);
+        return out;
+    };
+
+    for (int step = 0; step < steps; ++step) {
+        const auto b = data.sample(batch);
+        trainer.stepClassification(b.inputs, expand(b.labels));
+    }
+    double acc = 0.0;
+    const int evalRounds = 8;
+    for (int r = 0; r < evalRounds; ++r) {
+        const auto b = data.sample(batch);
+        acc += trainer.evalAccuracy(b.inputs, expand(b.labels));
+    }
+    return 100.0 * acc / evalRounds;
+}
+
+double
+trainLstm(const quant::AlgorithmConfig &algo, int steps)
+{
+    const std::size_t vocab = 16, hidden = 48, seq = 16, batch = 16;
+    nn::MarkovTextDataset data(vocab, 55);
+    Rng rng(17);
+    nn::Network net;
+    net.add(std::make_unique<nn::Lstm>("lstm", vocab, hidden, rng));
+    net.add(std::make_unique<nn::MergeLeading>("merge"));
+    net.add(std::make_unique<nn::Linear>("proj", hidden, vocab, rng));
+
+    nn::QuantTrainerConfig cfg;
+    cfg.algorithm = algo;
+    cfg.optimizer.kind = nn::OptimizerKind::Adam;
+    cfg.optimizer.lr = 5e-3;
+    nn::QuantTrainer trainer(net, cfg);
+
+    for (int step = 0; step < steps; ++step) {
+        const auto b = data.sample(seq, batch);
+        trainer.stepLanguageModel(b.inputs, b.targets, vocab);
+    }
+    const auto eval = data.evalSet(seq, 64);
+    return trainer.evalPerplexity(eval.inputs, eval.targets, vocab);
+}
+
+WorkloadResult
+run(const WorkloadContext &ctx)
+{
+    struct Algo
+    {
+        const char *tag;
+        quant::AlgorithmConfig cfg;
+    };
+    std::vector<Algo> algos = {
+        {"fp32", quant::AlgorithmConfig::fp32()},
+        {"zhu_hqt", quant::AlgorithmConfig::zhu2019Hqt(256)},
+        {"zhang_hqt", quant::AlgorithmConfig::zhang2020Hqt(256)},
+    };
+    if (!ctx.quick) {
+        algos.push_back({"zhu", quant::AlgorithmConfig::zhu2019()});
+        algos.push_back(
+            {"zhang", quant::AlgorithmConfig::zhang2020()});
+        algos.push_back({"wang2018",
+                         quant::AlgorithmConfig::wang2018()});
+        algos.push_back({"yang2020",
+                         quant::AlgorithmConfig::yang2020()});
+    }
+
+    struct CnnSpec
+    {
+        const char *name;
+        std::size_t c1, c2;
+        int depth;
+    };
+    std::vector<CnnSpec> cnns = {
+        {"alexnet", 8, 16, 1},
+        {"resnet18", 8, 16, 3},
+    };
+    if (!ctx.quick) {
+        cnns.push_back({"googlenet", 12, 24, 2});
+        cnns.push_back({"squeezenet", 6, 12, 2});
+    }
+
+    const int steps = ctx.quick ? 100 : 150;
+    WorkloadResult out;
+    double worstHqtDelta = 0.0; // worst accuracy drop of +HQT vs FP32
+    for (const auto &c : cnns) {
+        double fp32Acc = 0.0;
+        for (const auto &a : algos) {
+            const double acc =
+                trainCnn(a.cfg, c.c1, c.c2, c.depth, steps);
+            out.set(std::string("acc_") + c.name + "_" + a.tag, acc,
+                    "%");
+            if (std::string(a.tag) == "fp32")
+                fp32Acc = acc;
+            else if (std::string(a.tag).find("_hqt") !=
+                     std::string::npos)
+                worstHqtDelta =
+                    std::max(worstHqtDelta, fp32Acc - acc);
+        }
+    }
+    out.set("worst_hqt_acc_drop_vs_fp32", worstHqtDelta, "%");
+
+    if (!ctx.quick) {
+        for (const auto &a : algos) {
+            if (std::string(a.tag) == "wang2018" ||
+                std::string(a.tag) == "yang2020")
+                continue;
+            out.set(std::string("acc_transformer_") + a.tag,
+                    trainTransformer(a.cfg, steps), "%");
+            out.set(std::string("ppl_lstm_") + a.tag,
+                    trainLstm(a.cfg, steps));
+        }
+    }
+    out.notes = "paper: Zhang within 0.4% of FP32; +HQT matches or "
+                "slightly improves its base algorithm";
+    return out;
+}
+
+} // namespace
+
+void
+registerTable8Accuracy()
+{
+    Registry::instance().add(
+        {"table8_accuracy", "accuracy",
+         "training-accuracy deltas across quantization policies "
+         "(synthetic substitution)",
+         "Cambricon-Q, ISCA'21, Table VIII + Table III", run});
+}
+
+} // namespace cq::bench::workloads

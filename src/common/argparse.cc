@@ -1,0 +1,77 @@
+#include "common/argparse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cq::args {
+
+void
+failValue(const std::string &prog, const std::string &flag,
+          const std::string &why, const std::string &text)
+{
+    std::fprintf(stderr, "%s: %s %s, got '%s'\n", prog.c_str(),
+                 flag.c_str(), why.c_str(), text.c_str());
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const std::string &prog, const std::string &flag,
+         const std::string &text, std::uint64_t lo, std::uint64_t hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    // strtoull silently negates "-1"; reject any sign explicitly.
+    if (errno != 0 || end == text.c_str() || *end != '\0' ||
+        text[0] == '-' || text[0] == '+')
+        failValue(prog, flag, "expects an integer", text);
+    if (v < lo || v > hi) {
+        std::fprintf(stderr, "%s: %s=%llu out of range [%llu, %llu]\n",
+                     prog.c_str(), flag.c_str(), v,
+                     static_cast<unsigned long long>(lo),
+                     static_cast<unsigned long long>(hi));
+        std::exit(2);
+    }
+    return v;
+}
+
+double
+parseNonNegF64(const std::string &prog, const std::string &flag,
+               const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0' ||
+        !std::isfinite(v) || !(v >= 0.0))
+        failValue(prog, flag, "expects a non-negative number", text);
+    return v;
+}
+
+double
+parseFrac(const std::string &prog, const std::string &flag,
+          const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0' || v < 0.0 ||
+        v > 1.0)
+        failValue(prog, flag, "expects a fraction in [0, 1]", text);
+    return v;
+}
+
+std::string
+nextValue(const std::string &prog, int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s expects a value\n", prog.c_str(),
+                     argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+} // namespace cq::args

@@ -1,0 +1,50 @@
+#include "obs/cpu_time.h"
+
+#include <ctime>
+
+namespace cq::obs {
+
+namespace {
+
+std::uint64_t
+readClockNs(clockid_t id)
+{
+    timespec ts{};
+    if (clock_gettime(id, &ts) != 0)
+        return 0;
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+} // namespace
+
+TimeSample
+sampleClocks()
+{
+    TimeSample s;
+    s.wallNs = readClockNs(CLOCK_MONOTONIC);
+    s.processCpuNs = readClockNs(CLOCK_PROCESS_CPUTIME_ID);
+    s.threadCpuNs = readClockNs(CLOCK_THREAD_CPUTIME_ID);
+    return s;
+}
+
+TimeInterval
+elapsed(const TimeSample &begin, const TimeSample &end)
+{
+    const auto ms = [](std::uint64_t a, std::uint64_t b) {
+        return b > a ? static_cast<double>(b - a) * 1e-6 : 0.0;
+    };
+    TimeInterval i;
+    i.wallMs = ms(begin.wallNs, end.wallNs);
+    i.processCpuMs = ms(begin.processCpuNs, end.processCpuNs);
+    i.threadCpuMs = ms(begin.threadCpuNs, end.threadCpuNs);
+    return i;
+}
+
+TimeInterval
+elapsedSince(const TimeSample &begin)
+{
+    return elapsed(begin, sampleClocks());
+}
+
+} // namespace cq::obs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Wall-clock / CPU-clock sampling for honest timing claims. A wall
+ * interval alone cannot distinguish "the pool ran 4 workers" from
+ * "the host had one core" (CHANGES.md PR 1 notes the ~1x wall-time
+ * speedup on the 1-core CI container); pairing it with the
+ * process-wide CPU clock makes the parallelism visible anywhere:
+ * cpuMs / wallMs is the average number of busy cores.
+ *
+ * Used by the benchmark harness (bench/harness/) as its metrics
+ * substrate; exposed here so telemetry sinks can reuse it.
+ */
+
+#ifndef CQ_OBS_CPU_TIME_H
+#define CQ_OBS_CPU_TIME_H
+
+#include <cstdint>
+
+namespace cq::obs {
+
+/** One instant on all three clocks. */
+struct TimeSample
+{
+    std::uint64_t wallNs = 0;       ///< CLOCK_MONOTONIC
+    std::uint64_t processCpuNs = 0; ///< CLOCK_PROCESS_CPUTIME_ID (all threads)
+    std::uint64_t threadCpuNs = 0;  ///< CLOCK_THREAD_CPUTIME_ID (caller)
+};
+
+TimeSample sampleClocks();
+
+/** Elapsed interval between two samples, in milliseconds. */
+struct TimeInterval
+{
+    double wallMs = 0.0;
+    double processCpuMs = 0.0; ///< summed over every live thread
+    double threadCpuMs = 0.0;  ///< the calling thread only
+
+    /** Average busy cores over the interval (processCpu / wall);
+     *  0 for an empty interval. */
+    double cpuUtilization() const
+    {
+        return wallMs > 0.0 ? processCpuMs / wallMs : 0.0;
+    }
+};
+
+TimeInterval elapsed(const TimeSample &begin, const TimeSample &end);
+
+/** Convenience: sampleClocks() now minus @p begin. */
+TimeInterval elapsedSince(const TimeSample &begin);
+
+} // namespace cq::obs
+
+#endif // CQ_OBS_CPU_TIME_H

@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Tests of the unified benchmark harness and its substrate:
+ *
+ *  - cq::json: the strict reader used for gates and schema checks
+ *  - cq::args: the shared strict CLI parsers (death tests — these
+ *    error paths used to live, duplicated, in cqsim/cq_crashtest)
+ *  - registry round-trip: registerAll() exposes every workload
+ *  - gate evaluation: pass/fail/missing/ratio edge cases
+ *  - BENCH_*.json golden schema validation via cq::json
+ *  - the determinism contract: two same-seed runs produce identical
+ *    non-timing metrics
+ *  - harness timing: wall AND CPU fields populated (the honest-
+ *    speedup requirement)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/argparse.h"
+#include "common/fileutil.h"
+#include "common/json.h"
+#include "harness/export.h"
+#include "harness/gates.h"
+#include "harness/runner.h"
+#include "harness/workload.h"
+#include "obs/cpu_time.h"
+
+using namespace cq;
+using namespace cq::bench;
+
+// ---------------------------------------------------------------
+// cq::json
+// ---------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndNesting)
+{
+    const auto r = json::parse(
+        R"({"a": 1.5, "b": "x\n\"y", "c": [true, null, -2e3],
+            "d": {"e": []}})");
+    ASSERT_TRUE(r.ok) << r.error;
+    const json::Value &v = r.value;
+    EXPECT_DOUBLE_EQ(v.numberOr("a", 0.0), 1.5);
+    EXPECT_EQ(v.stringOr("b", ""), "x\n\"y");
+    const json::Value *c = v.find("c");
+    ASSERT_NE(c, nullptr);
+    ASSERT_TRUE(c->isArray());
+    ASSERT_EQ(c->asArray().size(), 3u);
+    EXPECT_TRUE(c->asArray()[0].asBool());
+    EXPECT_TRUE(c->asArray()[1].isNull());
+    EXPECT_DOUBLE_EQ(c->asArray()[2].asNumber(), -2000.0);
+    const json::Value *d = v.find("d");
+    ASSERT_NE(d, nullptr);
+    ASSERT_TRUE(d->find("e")->isArray());
+    EXPECT_TRUE(d->find("e")->asArray().empty());
+}
+
+TEST(Json, PreservesObjectKeyOrder)
+{
+    const auto r = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_TRUE(r.ok);
+    const auto &obj = r.value.asObject();
+    ASSERT_EQ(obj.size(), 3u);
+    EXPECT_EQ(obj[0].first, "z");
+    EXPECT_EQ(obj[1].first, "a");
+    EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    EXPECT_FALSE(json::parse("").ok);
+    EXPECT_FALSE(json::parse("{").ok);
+    EXPECT_FALSE(json::parse("{\"a\": }").ok);
+    EXPECT_FALSE(json::parse("[1, 2,]").ok);
+    EXPECT_FALSE(json::parse("nul").ok);
+    EXPECT_FALSE(json::parse("\"unterminated").ok);
+    EXPECT_FALSE(json::parse("01").ok);
+}
+
+TEST(Json, RejectsTrailingJunkWithOffset)
+{
+    const auto r = json::parse("{} x");
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error, "trailing characters after document");
+    EXPECT_EQ(r.errorAt, 3u);
+}
+
+TEST(Json, RejectsOverDeepNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_FALSE(json::parse(deep).ok);
+}
+
+TEST(Json, DecodesUnicodeEscapes)
+{
+    const auto r = json::parse(R"(["éA"])");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.value.asArray()[0].asString(), "\xc3\xa9"
+                                               "A");
+}
+
+TEST(Json, ParseFileReportsMissingFile)
+{
+    const auto r = json::parseFile("/nonexistent/gates.json");
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("cannot"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// cq::args — the hoisted strict parsers, death-tested centrally
+// ---------------------------------------------------------------
+
+TEST(Argparse, AcceptsValidValues)
+{
+    EXPECT_EQ(args::parseU64("t", "--n", "42", 1, 100), 42u);
+    EXPECT_EQ(args::parseU64("t", "--n", "1", 1, 1), 1u);
+    EXPECT_DOUBLE_EQ(args::parseNonNegF64("t", "--r", "2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(args::parseNonNegF64("t", "--r", "0"), 0.0);
+    EXPECT_DOUBLE_EQ(args::parseFrac("t", "--f", "0.25"), 0.25);
+    EXPECT_DOUBLE_EQ(args::parseFrac("t", "--f", "1"), 1.0);
+}
+
+using ArgparseDeath = ::testing::Test;
+
+TEST(ArgparseDeath, U64RejectsNonInteger)
+{
+    EXPECT_EXIT(args::parseU64("tool", "--steps", "abc", 0, 10),
+                ::testing::ExitedWithCode(2),
+                "--steps expects an integer, got 'abc'");
+}
+
+TEST(ArgparseDeath, U64RejectsTrailingJunk)
+{
+    EXPECT_EXIT(args::parseU64("tool", "--steps", "12x", 0, 100),
+                ::testing::ExitedWithCode(2), "expects an integer");
+}
+
+TEST(ArgparseDeath, U64RejectsNegative)
+{
+    // strtoull would silently negate "-1" — the shared parser must
+    // reject the sign outright.
+    EXPECT_EXIT(args::parseU64("tool", "--steps", "-1", 0, 100),
+                ::testing::ExitedWithCode(2), "expects an integer");
+}
+
+TEST(ArgparseDeath, U64RejectsOutOfRange)
+{
+    EXPECT_EXIT(args::parseU64("tool", "--keep", "0", 1, 1000),
+                ::testing::ExitedWithCode(2), "out of range");
+    EXPECT_EXIT(args::parseU64("tool", "--keep", "1001", 1, 1000),
+                ::testing::ExitedWithCode(2), "out of range");
+}
+
+TEST(ArgparseDeath, F64RejectsNegativeAndJunk)
+{
+    EXPECT_EXIT(args::parseNonNegF64("tool", "--rate", "-0.5"),
+                ::testing::ExitedWithCode(2), "non-negative");
+    EXPECT_EXIT(args::parseNonNegF64("tool", "--rate", "1.5.2"),
+                ::testing::ExitedWithCode(2), "non-negative");
+    EXPECT_EXIT(args::parseNonNegF64("tool", "--rate", "nan"),
+                ::testing::ExitedWithCode(2), "non-negative");
+}
+
+TEST(ArgparseDeath, FracRejectsOutOfUnitInterval)
+{
+    EXPECT_EXIT(args::parseFrac("tool", "--frac", "1.01"),
+                ::testing::ExitedWithCode(2), "fraction");
+}
+
+TEST(ArgparseDeath, NextValueRejectsDanglingFlag)
+{
+    char prog[] = "tool";
+    char flag[] = "--out";
+    char *argv[] = {prog, flag};
+    int i = 1;
+    EXPECT_EXIT(args::nextValue("tool", 2, argv, i),
+                ::testing::ExitedWithCode(2), "expects a value");
+}
+
+// ---------------------------------------------------------------
+// registry round-trip
+// ---------------------------------------------------------------
+
+TEST(BenchRegistry, RegisterAllExposesEveryWorkload)
+{
+    workloads::registerAll();
+    const auto &all = Registry::instance().all();
+    EXPECT_GE(all.size(), 12u) << "--list must enumerate the absorbed "
+                                  "bench mains";
+    const char *expected[] = {
+        "table1_op_energy",   "table7_hw_characteristics",
+        "table2_table9_comparison", "table8_accuracy",
+        "fig2_gradient_stats", "fig3_gpu_quant_overhead",
+        "fig12_perf_energy",  "fig13_scalability",
+        "ldq_compression",    "ablation_int4",
+        "ablation_design_space", "fault_resilience",
+        "kernels_quant",      "kernels_gemm",
+        "kernels_arch",
+    };
+    for (const char *name : expected) {
+        const Workload *w = Registry::instance().find(name);
+        ASSERT_NE(w, nullptr) << name;
+        EXPECT_FALSE(w->area.empty()) << name;
+        EXPECT_FALSE(w->description.empty()) << name;
+        EXPECT_TRUE(static_cast<bool>(w->run)) << name;
+    }
+}
+
+TEST(BenchRegistry, SelectByExactNameAndFilter)
+{
+    workloads::registerAll();
+    std::string err;
+    const auto exact =
+        selectWorkloads({"ldq_compression"}, "", err);
+    ASSERT_EQ(exact.size(), 1u) << err;
+    EXPECT_EQ(exact[0]->name, "ldq_compression");
+
+    const auto byArea = selectWorkloads({}, "kernels", err);
+    EXPECT_GE(byArea.size(), 3u);
+    for (const auto *w : byArea)
+        EXPECT_TRUE(w->area == "kernels" ||
+                    w->name.find("kernels") != std::string::npos);
+
+    const auto unknown = selectWorkloads({"no_such"}, "", err);
+    EXPECT_TRUE(unknown.empty());
+    EXPECT_NE(err.find("no_such"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// gate evaluation
+// ---------------------------------------------------------------
+
+namespace {
+
+RunRecord
+fakeRecord(const std::string &name, const std::string &metric,
+           double value)
+{
+    RunRecord r;
+    r.name = name;
+    r.area = "perf";
+    r.result.set(metric, value);
+    return r;
+}
+
+Gate
+makeGate(const std::string &id, const std::string &workload,
+         const std::string &metric, double min, double max,
+         bool hasMin = true, bool hasMax = true)
+{
+    Gate g;
+    g.id = id;
+    g.workload = workload;
+    g.metric = metric;
+    g.hasMin = hasMin;
+    g.hasMax = hasMax;
+    g.min = min;
+    g.max = max;
+    return g;
+}
+
+} // namespace
+
+TEST(BenchGates, EvaluatesBounds)
+{
+    const std::vector<RunRecord> recs = {
+        fakeRecord("w", "speedup", 2.0)};
+    // Pass inside, fail below min, fail above max, boundary passes.
+    auto o = evaluateGates({makeGate("G-01", "w", "speedup", 1.0, 3.0)},
+                           recs);
+    EXPECT_TRUE(o[0].pass);
+    o = evaluateGates({makeGate("G-02", "w", "speedup", 2.5, 3.0)},
+                      recs);
+    EXPECT_FALSE(o[0].pass);
+    EXPECT_NE(o[0].detail.find("min"), std::string::npos);
+    o = evaluateGates({makeGate("G-03", "w", "speedup", 0.0, 1.5)},
+                      recs);
+    EXPECT_FALSE(o[0].pass);
+    o = evaluateGates({makeGate("G-04", "w", "speedup", 2.0, 2.0)},
+                      recs);
+    EXPECT_TRUE(o[0].pass) << "inclusive bounds";
+    // min-only / max-only gates.
+    o = evaluateGates(
+        {makeGate("G-05", "w", "speedup", 1.0, 0.0, true, false)},
+        recs);
+    EXPECT_TRUE(o[0].pass);
+    o = evaluateGates(
+        {makeGate("G-06", "w", "speedup", 0.0, 1.0, false, true)},
+        recs);
+    EXPECT_FALSE(o[0].pass);
+}
+
+TEST(BenchGates, MissingWorkloadOrMetricFails)
+{
+    const std::vector<RunRecord> recs = {
+        fakeRecord("w", "speedup", 2.0)};
+    auto o = evaluateGates(
+        {makeGate("G-01", "absent", "speedup", 1.0, 3.0)}, recs);
+    EXPECT_FALSE(o[0].pass);
+    EXPECT_EQ(o[0].detail, "workload did not run");
+    o = evaluateGates({makeGate("G-02", "w", "absent", 1.0, 3.0)},
+                      recs);
+    EXPECT_FALSE(o[0].pass);
+    EXPECT_EQ(o[0].detail, "metric not reported");
+}
+
+TEST(BenchGates, NonFiniteValueFails)
+{
+    const std::vector<RunRecord> recs = {
+        fakeRecord("w", "ratio", std::nan(""))};
+    const auto o = evaluateGates(
+        {makeGate("G-01", "w", "ratio", 0.0, 10.0)}, recs);
+    EXPECT_FALSE(o[0].pass);
+    EXPECT_EQ(o[0].detail, "non-finite value");
+}
+
+TEST(BenchGates, CheckedInGatesFileLoadsAndNamesResolve)
+{
+    const auto gf = loadGates(std::string(CQ_SOURCE_DIR) +
+                              "/bench/gates.json");
+    ASSERT_TRUE(gf.ok) << gf.error;
+    EXPECT_EQ(gf.schemaVersion, 1);
+    EXPECT_GE(gf.gates.size(), 6u)
+        << "--ci-check must evaluate >= 6 named gates";
+    workloads::registerAll();
+    for (const auto &g : gf.gates) {
+        EXPECT_NE(Registry::instance().find(g.workload), nullptr)
+            << "gate " << g.id << " references unknown workload "
+            << g.workload;
+        // Naming convention: AREA-NN.
+        EXPECT_NE(g.id.find('-'), std::string::npos) << g.id;
+    }
+}
+
+TEST(BenchGates, MalformedGateFilesReport)
+{
+    const std::string dir = "/tmp/cq-test-gates";
+    ASSERT_TRUE(ensureDir(dir));
+    const auto write = [&](const std::string &name,
+                           const std::string &text) {
+        const std::string path = dir + "/" + name;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
+        return path;
+    };
+    EXPECT_FALSE(loadGates(write("bad.json", "{nope")).ok);
+    EXPECT_FALSE(
+        loadGates(write("ver.json",
+                        R"({"schema_version": 99, "gates": []})"))
+            .ok);
+    EXPECT_FALSE(
+        loadGates(write("empty.json",
+                        R"({"schema_version": 1, "gates": []})"))
+            .ok);
+    EXPECT_FALSE(loadGates(write(
+                     "nobound.json",
+                     R"({"schema_version": 1, "gates": [{"id": "X-01",
+                         "workload": "w", "metric": "m"}]})"))
+                     .ok);
+    const auto dup = loadGates(write(
+        "dup.json",
+        R"({"schema_version": 1, "gates": [
+            {"id": "X-01", "workload": "w", "metric": "m", "min": 1},
+            {"id": "X-01", "workload": "w", "metric": "m", "min": 2}]})"));
+    EXPECT_FALSE(dup.ok);
+    EXPECT_NE(dup.error.find("duplicate"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// BENCH_*.json schema + determinism + timing
+// ---------------------------------------------------------------
+
+namespace {
+
+/**
+ * Burn CPU on the calling thread until the *process* CPU clock has
+ * visibly advanced. The sandboxed CI kernel reports CPU time at
+ * ~10 ms granularity, so a fixed iteration count is not enough — spin
+ * in chunks until the clock moves (bounded by 2 s of wall time).
+ */
+void
+burnCpuUntilClockAdvances(double minCpuMs)
+{
+    const obs::TimeSample begin = obs::sampleClocks();
+    volatile double x = 0.0;
+    for (;;) {
+        for (int i = 0; i < 2000000; ++i)
+            x = x + std::sqrt(static_cast<double>(i));
+        const obs::TimeInterval t = obs::elapsedSince(begin);
+        if (t.processCpuMs >= minCpuMs || t.wallMs > 2000.0)
+            return;
+    }
+}
+
+/** A tiny deterministic workload for harness-level tests. */
+Workload
+syntheticWorkload()
+{
+    Workload w;
+    w.name = "synthetic";
+    w.area = "perf";
+    w.description = "deterministic test workload";
+    w.paperRef = "tests only";
+    w.run = [](const WorkloadContext &ctx) {
+        WorkloadResult r;
+        r.set("seed_times_two", static_cast<double>(ctx.seed * 2));
+        r.set("quick_flag", ctx.quick ? 1.0 : 0.0);
+        r.setTiming("fake_latency_ms", 1.25);
+        // Burn CPU on a second thread so the process-CPU clock
+        // visibly exceeds the main-thread clock.
+        std::thread t([] { burnCpuUntilClockAdvances(30.0); });
+        t.join();
+        r.notes = "synthetic";
+        return r;
+    };
+    return w;
+}
+
+} // namespace
+
+TEST(BenchHarness, TimingRecordsWallAndCpu)
+{
+    const Workload w = syntheticWorkload();
+    WorkloadContext ctx;
+    ctx.repeat = 2;
+    const auto recs = runWorkloads({&w}, ctx);
+    ASSERT_EQ(recs.size(), 1u);
+    const RunTiming &t = recs[0].timing;
+    EXPECT_GT(t.wallMs, 0.0);
+    EXPECT_GT(t.processCpuMs, 0.0)
+        << "per-run CPU time must be recorded alongside wall time";
+    EXPECT_GE(t.mainThreadCpuMs, 0.0);
+    EXPECT_GT(t.cpuUtilization, 0.0);
+    EXPECT_EQ(t.repeats, 2);
+    EXPECT_GT(t.wallMsMin, 0.0);
+    EXPECT_LE(t.wallMsMin, t.wallMsMean + 1e-9);
+    // The spawned worker thread's cycles are visible to the process
+    // clock but not the main-thread clock.
+    EXPECT_GE(t.processCpuMs, t.mainThreadCpuMs);
+}
+
+TEST(BenchHarness, BenchJsonMatchesGoldenSchema)
+{
+    const Workload w = syntheticWorkload();
+    WorkloadContext ctx;
+    const auto recs = runWorkloads({&w}, ctx);
+    const Provenance prov = Provenance::capture(ctx);
+    const std::string text = toBenchJson(recs, prov, "perf");
+
+    const auto parsed = json::parse(text);
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const json::Value &doc = parsed.value;
+
+    // Golden schema v1: top-level shape.
+    EXPECT_EQ(doc.stringOr("schema", ""), kBenchSchemaName);
+    EXPECT_EQ(doc.numberOr("schema_version", 0), kBenchSchemaVersion);
+    EXPECT_EQ(doc.stringOr("area", ""), "perf");
+
+    const json::Value *p = doc.find("provenance");
+    ASSERT_NE(p, nullptr);
+    for (const char *key : {"host", "threads", "seed", "repeat",
+                            "quick", "generated_unix_ms"})
+        EXPECT_NE(p->find(key), nullptr) << key;
+
+    const json::Value *ws = doc.find("workloads");
+    ASSERT_NE(ws, nullptr);
+    ASSERT_TRUE(ws->isArray());
+    ASSERT_EQ(ws->asArray().size(), 1u);
+    const json::Value &entry = ws->asArray()[0];
+    EXPECT_EQ(entry.stringOr("name", ""), "synthetic");
+    for (const char *key :
+         {"description", "paper_ref", "notes", "metrics", "timing"})
+        EXPECT_NE(entry.find(key), nullptr) << key;
+
+    // Non-timing metrics land under "metrics"...
+    const json::Value *metrics = entry.find("metrics");
+    ASSERT_NE(metrics->find("seed_times_two"), nullptr);
+    EXPECT_DOUBLE_EQ(
+        metrics->find("seed_times_two")->numberOr("value", 0.0), 84.0);
+    EXPECT_EQ(metrics->find("fake_latency_ms"), nullptr);
+    // ...and timing-flagged ones under "timing" with the harness
+    // wall/CPU columns.
+    const json::Value *timing = entry.find("timing");
+    ASSERT_NE(timing->find("fake_latency_ms"), nullptr);
+    for (const char *key : {"wall_ms", "wall_ms_min", "wall_ms_mean",
+                            "cpu_ms", "cpu_main_thread_ms",
+                            "cpu_utilization", "repeats"})
+        EXPECT_NE(timing->find(key), nullptr) << key;
+}
+
+TEST(BenchHarness, WriteBenchJsonFilesGroupsByArea)
+{
+    Workload a = syntheticWorkload();
+    Workload b = syntheticWorkload();
+    b.name = "synthetic_energy";
+    b.area = "energy";
+    WorkloadContext ctx;
+    const auto recs = runWorkloads({&a, &b}, ctx);
+    const std::string dir = "/tmp/cq-test-benchjson";
+    ASSERT_TRUE(ensureDir(dir));
+    std::string err;
+    const auto paths =
+        writeBenchJsonFiles(recs, Provenance::capture(ctx), dir, err);
+    ASSERT_EQ(paths.size(), 2u) << err;
+    EXPECT_EQ(paths[0], dir + "/BENCH_perf.json");
+    EXPECT_EQ(paths[1], dir + "/BENCH_energy.json");
+    for (const auto &path : paths) {
+        const auto parsed = json::parseFile(path);
+        EXPECT_TRUE(parsed.ok) << path << ": " << parsed.error;
+    }
+}
+
+TEST(BenchHarness, SameSeedRunsProduceIdenticalNonTimingMetrics)
+{
+    // The real fast workloads, run twice with one seed: every
+    // non-timing metric must be bit-identical (the determinism
+    // contract BENCH trajectories rely on).
+    workloads::registerAll();
+    std::string err;
+    const auto sel = selectWorkloads(
+        {"table1_op_energy", "table7_hw_characteristics",
+         "table2_table9_comparison", "ldq_compression"},
+        "", err);
+    ASSERT_EQ(sel.size(), 4u) << err;
+    WorkloadContext ctx;
+    ctx.seed = 7;
+    ctx.quick = true;
+    const auto first = runWorkloads(sel, ctx);
+    const auto second = runWorkloads(sel, ctx);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        const auto &ma = first[i].result.metrics;
+        const auto &mb = second[i].result.metrics;
+        ASSERT_EQ(ma.size(), mb.size()) << first[i].name;
+        for (std::size_t j = 0; j < ma.size(); ++j) {
+            EXPECT_EQ(ma[j].name, mb[j].name) << first[i].name;
+            EXPECT_EQ(ma[j].timing, mb[j].timing) << ma[j].name;
+            if (!ma[j].timing) {
+                EXPECT_EQ(ma[j].value, mb[j].value)
+                    << first[i].name << "." << ma[j].name
+                    << " must be bit-reproducible for a fixed seed";
+            }
+        }
+    }
+}
+
+TEST(BenchHarness, CsvHasHeaderAndTimingColumn)
+{
+    const Workload w = syntheticWorkload();
+    WorkloadContext ctx;
+    const auto recs = runWorkloads({&w}, ctx);
+    const std::string csv = toCsv(recs);
+    EXPECT_EQ(csv.rfind("workload,area,metric,value,unit,timing", 0),
+              0u);
+    EXPECT_NE(csv.find("synthetic,perf,seed_times_two,"),
+              std::string::npos);
+    EXPECT_NE(csv.find("harness.wall_ms"), std::string::npos);
+    EXPECT_NE(csv.find("harness.cpu_ms"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// obs::cpu_time
+// ---------------------------------------------------------------
+
+TEST(CpuTime, ClocksAdvanceAndIntervalIsConsistent)
+{
+    const obs::TimeSample begin = obs::sampleClocks();
+    burnCpuUntilClockAdvances(30.0);
+    const obs::TimeInterval t = obs::elapsedSince(begin);
+    EXPECT_GT(t.wallMs, 0.0);
+    EXPECT_GT(t.processCpuMs, 0.0);
+    EXPECT_GT(t.threadCpuMs, 0.0);
+    // A single-threaded burn: thread CPU ≈ process CPU <= some slack.
+    EXPECT_LE(t.threadCpuMs, t.processCpuMs + 50.0);
+    EXPECT_GT(t.cpuUtilization(), 0.0);
+}

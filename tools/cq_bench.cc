@@ -1,0 +1,14 @@
+/**
+ * @file
+ * cq_bench: the unified benchmark harness. All former bench_* mains
+ * are registered workloads; see bench/harness/ for the machinery and
+ * `cq_bench --help` / EXPERIMENTS.md for usage.
+ */
+
+#include "harness/harness.h"
+
+int
+main(int argc, char **argv)
+{
+    return cq::bench::benchMain(argc, argv);
+}

@@ -38,6 +38,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "common/argparse.h"
 #include "common/fileutil.h"
 #include "common/threadpool.h"
 #include "nn/guard/crash_harness.h"
@@ -46,6 +47,8 @@
 using namespace cq;
 
 namespace {
+
+constexpr const char *kProg = "cq_crashtest";
 
 void
 usage()
@@ -62,49 +65,18 @@ usage()
     std::exit(2);
 }
 
-/** Strict unsigned parse; exits 2 with a one-line error otherwise. */
+/** Strict parses shared with the other tools (common/argparse.h). */
 std::uint64_t
 parseU64(const std::string &flag, const std::string &text,
          std::uint64_t lo, std::uint64_t hi)
 {
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v =
-        std::strtoull(text.c_str(), &end, 10);
-    if (errno != 0 || end == text.c_str() || *end != '\0') {
-        std::fprintf(stderr,
-                     "cq_crashtest: %s expects an integer, got '%s'\n",
-                     flag.c_str(), text.c_str());
-        std::exit(2);
-    }
-    if (v < lo || v > hi) {
-        std::fprintf(stderr,
-                     "cq_crashtest: %s=%llu out of range [%llu, "
-                     "%llu]\n",
-                     flag.c_str(), v,
-                     static_cast<unsigned long long>(lo),
-                     static_cast<unsigned long long>(hi));
-        std::exit(2);
-    }
-    return v;
+    return args::parseU64(kProg, flag, text, lo, hi);
 }
 
 double
 parseFrac(const std::string &flag, const std::string &text)
 {
-    errno = 0;
-    char *end = nullptr;
-    const double v = std::strtod(text.c_str(), &end);
-    if (errno != 0 || end == text.c_str() || *end != '\0' || v < 0.0 ||
-        v > 1.0) {
-        std::fprintf(
-            stderr,
-            "cq_crashtest: %s expects a fraction in [0, 1], got "
-            "'%s'\n",
-            flag.c_str(), text.c_str());
-        std::exit(2);
-    }
-    return v;
+    return args::parseFrac(kProg, flag, text);
 }
 
 /**
@@ -211,13 +183,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "cq_crashtest: %s expects a value\n",
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
+            return args::nextValue(kProg, argc, argv, i);
         };
         if (arg == "--trials")
             trials = parseU64(arg, next(), 1, 10000);

@@ -30,15 +30,15 @@
  * --ecc, --abft and --fault-rate FLIPS_PER_MBIT.
  */
 
-#include <cerrno>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
 #include "arch/accelerator.h"
 #include "arch/trace_export.h"
 #include "baseline/tpu_sim.h"
+#include "common/argparse.h"
 #include "common/signal_flag.h"
 #include "compiler/codegen.h"
 #include "compiler/workloads.h"
@@ -49,6 +49,8 @@
 using namespace cq;
 
 namespace {
+
+constexpr const char *kProg = "cqsim";
 
 void
 printUsage(std::FILE *to)
@@ -79,47 +81,12 @@ usage()
     std::exit(2);
 }
 
-/** Strict unsigned parse; one-line error + exit 2 otherwise. */
+/** Strict parses shared with the other tools (common/argparse.h). */
 std::uint64_t
 parseU64(const std::string &flag, const std::string &text,
          std::uint64_t lo, std::uint64_t hi)
 {
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v =
-        std::strtoull(text.c_str(), &end, 10);
-    if (errno != 0 || end == text.c_str() || *end != '\0') {
-        std::fprintf(stderr,
-                     "cqsim: %s expects an integer, got '%s'\n",
-                     flag.c_str(), text.c_str());
-        std::exit(2);
-    }
-    if (v < lo || v > hi) {
-        std::fprintf(
-            stderr, "cqsim: %s=%llu out of range [%llu, %llu]\n",
-            flag.c_str(), v, static_cast<unsigned long long>(lo),
-            static_cast<unsigned long long>(hi));
-        std::exit(2);
-    }
-    return v;
-}
-
-/** Strict non-negative float parse; one-line error + exit 2. */
-double
-parseF64(const std::string &flag, const std::string &text)
-{
-    errno = 0;
-    char *end = nullptr;
-    const double v = std::strtod(text.c_str(), &end);
-    if (errno != 0 || end == text.c_str() || *end != '\0' ||
-        !(v >= 0.0)) {
-        std::fprintf(
-            stderr,
-            "cqsim: %s expects a non-negative number, got '%s'\n",
-            flag.c_str(), text.c_str());
-        std::exit(2);
-    }
-    return v;
+    return args::parseU64(kProg, flag, text, lo, hi);
 }
 
 /** The --train mode: real quantized training with the generation
@@ -285,12 +252,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> std::string {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "cqsim: %s expects a value\n",
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
+            return args::nextValue(kProg, argc, argv, i);
         };
         if (arg == "--network")
             network = next();
@@ -335,7 +297,7 @@ main(int argc, char **argv)
         else if (arg == "--abft")
             train.abft = true;
         else if (arg == "--fault-rate")
-            train.faultRate = parseF64(arg, next());
+            train.faultRate = args::parseNonNegF64(kProg, arg, next());
         else if (arg == "--trace-out")
             traceOut = next();
         else if (arg == "--metrics-out")
