@@ -23,6 +23,7 @@ registerAll()
     registerAblationInt4();
     registerAblationDesignSpace();
     registerFaultResilience();
+    registerServeThroughput();
     registerKernels();
 }
 

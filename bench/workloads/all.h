@@ -23,6 +23,7 @@ void registerLdqCompression();
 void registerAblationInt4();
 void registerAblationDesignSpace();
 void registerFaultResilience();
+void registerServeThroughput();
 void registerKernels();
 
 } // namespace cq::bench::workloads

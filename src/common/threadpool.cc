@@ -29,6 +29,9 @@ namespace {
  */
 thread_local bool tlsInParallelRegion = false;
 
+/** Per-caller fan-out cap (0 = none); see setCallerWidthCap(). */
+thread_local unsigned tlsCallerWidthCap = 0;
+
 unsigned
 defaultThreadCount()
 {
@@ -195,6 +198,18 @@ ThreadPool::reinitAfterFork()
 }
 
 void
+ThreadPool::setCallerWidthCap(unsigned cap)
+{
+    tlsCallerWidthCap = cap;
+}
+
+unsigned
+ThreadPool::callerWidthCap()
+{
+    return tlsCallerWidthCap;
+}
+
+void
 ThreadPool::parallelFor(std::size_t begin, std::size_t end,
                         std::size_t grain, const RangeFn &fn)
 {
@@ -203,14 +218,20 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     const std::size_t range = end - begin;
     const std::size_t minChunk = std::max<std::size_t>(grain, 1);
     const std::size_t maxChunks = range / minChunk;
+    // A capped caller fans out over at most its cap; cap 1 joins the
+    // serial fast path below and never touches the shared workers.
+    const unsigned width =
+        tlsCallerWidthCap > 0
+            ? std::min(numThreads_, tlsCallerWidthCap)
+            : numThreads_;
     // Serial fast path: one thread, a small range, or a nested call
     // from inside a running chunk.
-    if (numThreads_ == 1 || maxChunks <= 1 || tlsInParallelRegion) {
+    if (width == 1 || maxChunks <= 1 || tlsInParallelRegion) {
         fn(begin, end);
         return;
     }
     const std::size_t chunks =
-        std::min<std::size_t>(numThreads_, maxChunks);
+        std::min<std::size_t>(width, maxChunks);
 
     std::lock_guard<std::mutex> submit(state_->submitMutex);
     {

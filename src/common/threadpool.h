@@ -70,10 +70,32 @@ class ThreadPool
      * until every chunk finished; rethrows the first exception a
      * chunk raised. The chunk boundaries and the chunk-to-thread
      * assignment are static functions of (begin, end, grain,
-     * numThreads) — never of runtime timing.
+     * effective width) — never of runtime timing.
      */
     void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                      const RangeFn &fn);
+
+    /**
+     * @name Per-caller width cap (graceful degradation)
+     *
+     * The serving layer shrinks a job's thread allocation before it
+     * rejects work: a scheduler worker sets a thread-local cap and
+     * every parallelFor issued from that thread then fans out over at
+     * most that many chunks (cap 1 runs inline, without touching the
+     * shared workers at all — an overloaded pool stops being a
+     * contention point). Because chunk boundaries are a static
+     * function of the effective width and every kernel is bitwise
+     * identical at any width (the 1-vs-N determinism contract),
+     * capping a caller changes *when* its work finishes, never *what*
+     * it computes.
+     */
+    /** @{ */
+    /** Cap parallelFor fan-out for the calling thread; 0 removes the
+     *  cap. Only affects calls made from this thread. */
+    static void setCallerWidthCap(unsigned cap);
+    /** The calling thread's cap (0 = uncapped). */
+    static unsigned callerWidthCap();
+    /** @} */
 
     ~ThreadPool();
     ThreadPool(const ThreadPool &) = delete;
@@ -97,6 +119,28 @@ class ThreadPool
  */
 void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                  const ThreadPool::RangeFn &fn);
+
+/** RAII guard for ThreadPool::setCallerWidthCap: caps the calling
+ *  thread's parallelFor fan-out for the scope's lifetime, restoring
+ *  the previous cap on exit. */
+class CallerWidthCapScope
+{
+  public:
+    explicit CallerWidthCapScope(unsigned cap)
+        : previous_(ThreadPool::callerWidthCap())
+    {
+        ThreadPool::setCallerWidthCap(cap);
+    }
+    ~CallerWidthCapScope()
+    {
+        ThreadPool::setCallerWidthCap(previous_);
+    }
+    CallerWidthCapScope(const CallerWidthCapScope &) = delete;
+    CallerWidthCapScope &operator=(const CallerWidthCapScope &) = delete;
+
+  private:
+    unsigned previous_;
+};
 
 } // namespace cq
 

@@ -6,6 +6,7 @@
 #include "nn/guard/ckpt_store.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -408,7 +409,13 @@ CheckpointStore::loadLatest(TrainerSnapshot &out) const
 // ------------------------------------------------- AsyncCheckpointWriter
 
 AsyncCheckpointWriter::AsyncCheckpointWriter(CheckpointStore &store)
-    : store_(store), worker_([this] { writerLoop(); })
+    : AsyncCheckpointWriter(store, RetryPolicy())
+{
+}
+
+AsyncCheckpointWriter::AsyncCheckpointWriter(CheckpointStore &store,
+                                             RetryPolicy retry)
+    : store_(store), retry_(retry), worker_([this] { writerLoop(); })
 {
 }
 
@@ -473,6 +480,13 @@ AsyncCheckpointWriter::dropped() const
     return dropped_;
 }
 
+std::size_t
+AsyncCheckpointWriter::retried() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return retried_;
+}
+
 CheckpointWriteResult
 AsyncCheckpointWriter::lastResult() const
 {
@@ -491,14 +505,39 @@ AsyncCheckpointWriter::writerLoop()
             hasPending_ = false;
             busy_ = true;
             lock.unlock();
+            static obs::Counter &retriesMetric =
+                obs::MetricRegistry::instance().counter(
+                    "ckpt.write_retries");
             CheckpointWriteResult res = CheckpointWriteResult::Ok;
             std::exception_ptr err;
-            try {
-                res = store_.commit(snap);
-            } catch (...) {
-                err = std::current_exception();
+            std::size_t attemptRetries = 0;
+            for (unsigned attempt = 0;; ++attempt) {
+                res = CheckpointWriteResult::Ok;
+                err = nullptr;
+                try {
+                    res = store_.commit(snap);
+                } catch (...) {
+                    err = std::current_exception();
+                }
+                if (!err && res == CheckpointWriteResult::Ok)
+                    break;
+                if (attempt >= retry_.maxRetries)
+                    break; // budget spent: surface the last failure
+                // Transient-failure retry: capped exponential backoff
+                // keeps a genuinely broken disk from spinning hot,
+                // while an EINTR storm or flaky injected hook gets a
+                // second (and third) chance before poisoning the run.
+                const unsigned backoff = std::min(
+                    retry_.backoffCapMicros,
+                    retry_.backoffBaseMicros << attempt);
+                if (backoff > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(backoff));
+                ++attemptRetries;
+                retriesMetric.inc();
             }
             lock.lock();
+            retried_ += attemptRetries;
             busy_ = false;
             static obs::Gauge &depth =
                 obs::MetricRegistry::instance().gauge(

@@ -167,7 +167,31 @@ class CheckpointStore
 class AsyncCheckpointWriter
 {
   public:
+    /**
+     * Bounded retry of transient commit failures. Checkpoint I/O
+     * shares a disk with everything else on the host; a commit that
+     * fails because of a transient condition (EINTR storm, momentary
+     * ENOSPC, a flaky injected onWrite hook) should not immediately
+     * poison the training run when simply trying again would succeed.
+     * Each failed commit (an exception out of the store, or any
+     * non-Ok CheckpointWriteResult) is retried up to maxRetries times
+     * with capped exponential backoff; only after the budget is spent
+     * is the last exception surfaced on submit()/drain() (or the
+     * non-Ok result recorded). Every retry increments the
+     * `ckpt.write_retries` metric.
+     */
+    struct RetryPolicy
+    {
+        /** Additional attempts after the first failure (0 = the
+         *  pre-retry behaviour: fail straight through). */
+        unsigned maxRetries = 2;
+        /** Backoff before retry k (0-based): min(cap, base << k). */
+        unsigned backoffBaseMicros = 500;
+        unsigned backoffCapMicros = 20000;
+    };
+
     explicit AsyncCheckpointWriter(CheckpointStore &store);
+    AsyncCheckpointWriter(CheckpointStore &store, RetryPolicy retry);
     ~AsyncCheckpointWriter();
 
     AsyncCheckpointWriter(const AsyncCheckpointWriter &) = delete;
@@ -192,6 +216,8 @@ class AsyncCheckpointWriter
     std::size_t committed() const;
     /** Pending snapshots replaced before they reached the disk. */
     std::size_t dropped() const;
+    /** Failed commit attempts that were retried. */
+    std::size_t retried() const;
     CheckpointWriteResult lastResult() const;
 
   private:
@@ -199,6 +225,7 @@ class AsyncCheckpointWriter
     void rethrowPendingErrorLocked();
 
     CheckpointStore &store_;
+    RetryPolicy retry_;
     mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable done_;
@@ -210,6 +237,7 @@ class AsyncCheckpointWriter
     std::exception_ptr error_;
     std::size_t committed_ = 0;
     std::size_t dropped_ = 0;
+    std::size_t retried_ = 0;
     std::thread worker_;
 };
 

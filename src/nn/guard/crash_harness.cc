@@ -61,6 +61,7 @@ runCrashHarness(const CrashHarnessConfig &config)
         static_cast<std::size_t>(config.ckptEvery);
     cfg.resilience.asyncCheckpoint = config.asyncCheckpoint;
     cfg.resilience.handleSignals = config.handleSignals;
+    cfg.resilience.cancel = config.cancel;
     cfg.resilience.dataRng = &data.rng();
     cfg.resilience.writeOptions.slowWriteMicros =
         config.slowWriteMicros;
@@ -136,6 +137,7 @@ runCrashHarness(const CrashHarnessConfig &config)
         }
         if (trainer.stopRequested()) {
             result.stopRequested = true;
+            result.cancelled = trainer.cancelObserved();
             break;
         }
     }

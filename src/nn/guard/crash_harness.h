@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/cancel.h"
+
 namespace cq::nn::guard {
 
 /** One training leg. */
@@ -56,6 +58,14 @@ struct CrashHarnessConfig
      *  returns early (result.stopRequested). The caller installs the
      *  handler (cq::installShutdownSignalHandler()). */
     bool handleSignals = false;
+
+    /**
+     * Cooperative cancellation (not owned; may be nullptr). The job
+     * server threads each job's token through here so deadlines, load
+     * shedding and drain cancel a leg at the next step boundary with
+     * a final checkpoint (result.stopRequested + result.cancelled).
+     */
+    cq::CancelToken *cancel = nullptr;
 
     /** @name Self-kill plan (0 = disabled) */
     /** @{ */
@@ -110,9 +120,11 @@ struct CrashHarnessResult
     std::uint64_t skippedCorrupt = 0;
     /** Steps this leg actually executed (excludes replayed history). */
     std::uint64_t stepsRun = 0;
-    /** True when a handled SIGTERM/SIGINT ended the leg early (the
-     *  final checkpoint is already on disk). */
+    /** True when a handled SIGTERM/SIGINT or a cancelled token ended
+     *  the leg early (the final checkpoint is already on disk). */
     bool stopRequested = false;
+    /** True when the early stop came from the cancel token. */
+    bool cancelled = false;
     double finalLoss = 0.0;
     /** CRC-32 over the final masters' raw bytes (also what
      *  mastersOut receives). */

@@ -691,19 +691,28 @@ QuantTrainer::resumeFrom(const std::string &dir)
 void
 QuantTrainer::pollShutdown()
 {
-    if (!config_.resilience.handleSignals || stopRequested_)
+    if (stopRequested_)
         return;
-    if (!shutdownRequested())
+    const bool signalled =
+        config_.resilience.handleSignals && shutdownRequested();
+    const bool cancelled = config_.resilience.cancel != nullptr &&
+                           config_.resilience.cancel->cancelled();
+    if (!signalled && !cancelled)
         return;
     stopRequested_ = true;
+    cancelObserved_ = cancelled && !signalled;
+    const char *why =
+        cancelObserved_
+            ? cancelReasonName(config_.resilience.cancel->reason())
+            : "signal";
     if (checkpointingEnabled()) {
         const bool ok = checkpointNow();
-        inform("shutdown: %s final checkpoint at step %zu",
+        inform("shutdown (%s): %s final checkpoint at step %zu", why,
                ok ? "wrote" : "FAILED to write", step_);
     } else {
-        inform("shutdown: stop requested at step %zu (no checkpoint "
-               "destination)",
-               step_);
+        inform("shutdown (%s): stop requested at step %zu (no "
+               "checkpoint destination)",
+               why, step_);
     }
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "dram/ecc.h"
 #include "nn/guard/checkpoint.h"
 #include "nn/guard/ckpt_store.h"
@@ -113,6 +114,18 @@ struct ResilienceConfig
     bool handleSignals = false;
     /** Durability + test hooks for every checkpoint write. */
     guard::CheckpointWriteOptions writeOptions;
+    /**
+     * Cooperative cancellation (not owned; may be nullptr). Polled at
+     * the same step boundary as the signal flag: when the token is
+     * cancelled (deadline passed, job shed, server draining), the
+     * trainer writes one final synchronous checkpoint and reports
+     * through stopRequested(), exactly like a handled SIGTERM. The
+     * poll site keeps cancellation deterministic: the steps completed
+     * before the stop are bitwise identical to the same prefix of an
+     * uncancelled run, and the final checkpoint is taken at a
+     * consistent boundary. Works independently of handleSignals.
+     */
+    CancelToken *cancel = nullptr;
     /** Healthy-step interval between checkpoints. */
     std::size_t checkpointInterval = 25;
     /**
@@ -243,11 +256,15 @@ class QuantTrainer
     ResumeOutcome resumeFrom(const std::string &dir = "");
 
     /**
-     * True once a handled SIGTERM/SIGINT was observed at a step
-     * boundary (resilience.handleSignals): the final checkpoint has
-     * been written and the driver loop should stop cleanly.
+     * True once a handled SIGTERM/SIGINT or a cancelled CancelToken
+     * was observed at a step boundary: the final checkpoint has been
+     * written and the driver loop should stop cleanly.
      */
     bool stopRequested() const { return stopRequested_; }
+
+    /** True when the stop came from the cancel token (rather than a
+     *  process signal); the token's reason() says why. */
+    bool cancelObserved() const { return cancelObserved_; }
 
     /** Block until every submitted async checkpoint is committed.
      *  Returns false when the last commit failed. */
@@ -334,6 +351,7 @@ class QuantTrainer
     bool stepHealthy_ = true;
     bool lastStepDiscarded_ = false;
     bool stopRequested_ = false;
+    bool cancelObserved_ = false;
     std::size_t rollbacks_ = 0;
 
     /** One SEC-DED sideband per master tensor (empty = ECC off). */

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Job model helpers: enum names and spec validation.
+ */
+
+#include "serve/job.h"
+
+namespace cq::serve {
+
+const char *
+jobKindName(JobKind kind)
+{
+    switch (kind) {
+    case JobKind::Train:
+        return "train";
+    case JobKind::Sweep:
+        return "sweep";
+    case JobKind::Sim:
+        return "sim";
+    }
+    return "?";
+}
+
+const char *
+priorityName(Priority p)
+{
+    switch (p) {
+    case Priority::Low:
+        return "low";
+    case Priority::Normal:
+        return "normal";
+    case Priority::High:
+        return "high";
+    }
+    return "?";
+}
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+    case JobState::Pending:
+        return "pending";
+    case JobState::Completed:
+        return "completed";
+    case JobState::Failed:
+        return "failed";
+    case JobState::Cancelled:
+        return "cancelled";
+    case JobState::TimedOut:
+        return "timed-out";
+    case JobState::Shed:
+        return "shed";
+    }
+    return "?";
+}
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+    case FailureKind::None:
+        return "none";
+    case FailureKind::Transient:
+        return "transient";
+    case FailureKind::WorkerCrash:
+        return "worker-crash";
+    case FailureKind::Diverged:
+        return "diverged";
+    case FailureKind::CheckpointIo:
+        return "checkpoint-io";
+    case FailureKind::Permanent:
+        return "permanent";
+    }
+    return "?";
+}
+
+bool
+failureIsTransient(FailureKind kind)
+{
+    switch (kind) {
+    case FailureKind::Transient:
+    case FailureKind::WorkerCrash:
+    case FailureKind::Diverged:
+    case FailureKind::CheckpointIo:
+        return true;
+    case FailureKind::None:
+    case FailureKind::Permanent:
+        return false;
+    }
+    return false;
+}
+
+std::string
+validateJobSpec(const JobSpec &spec)
+{
+    if (spec.id.empty())
+        return "job id must be non-empty";
+    if (spec.id.size() > 128)
+        return "job id longer than 128 characters";
+    for (const char c : spec.id) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' ||
+                        c == '_' || c == '.';
+        if (!ok)
+            return "job id may only contain [A-Za-z0-9._-]";
+    }
+    if (spec.tenant.empty())
+        return "tenant must be non-empty";
+    if (spec.kind != JobKind::Train && spec.kind != JobKind::Sweep &&
+        spec.kind != JobKind::Sim)
+        return "unknown job kind";
+    const int prio = static_cast<int>(spec.priority);
+    if (prio < static_cast<int>(Priority::Low) ||
+        prio > static_cast<int>(Priority::High))
+        return "priority out of range";
+    if (spec.steps == 0)
+        return "steps must be >= 1";
+    if (spec.steps > 1000000)
+        return "steps above the 1e6 service limit";
+    if (spec.faultRate < 0.0 || spec.faultRate != spec.faultRate)
+        return "fault rate must be finite and non-negative";
+    if (spec.kind != JobKind::Train &&
+        (!spec.ckptDir.empty() || spec.faultRate > 0.0))
+        return "ckptDir/faultRate only apply to train jobs";
+    return "";
+}
+
+} // namespace cq::serve

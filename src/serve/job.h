@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Job model of the multi-tenant simulation service.
+ *
+ * A job is one unit of tenant work: a quantized training run, a
+ * quantization sweep, or an accelerator simulation. The server
+ * (scheduler.h) executes a queue of them concurrently over the shared
+ * worker pools with per-job isolation — each job owns its seeds, its
+ * RNG streams, its checkpoint directory and its stats, so a job's
+ * result is bitwise identical to the same spec run standalone
+ * (runJobStandalone(), enforced by tests and the chaos harness).
+ *
+ * Every *accepted* job ends in exactly one terminal JobReport —
+ * completed, or a typed failure (failed / cancelled / timed out /
+ * shed). No accepted job is ever silently lost; the chaos harness
+ * (tools/cq_servetest) asserts that invariant under worker crashes,
+ * hangs, bursts and drains.
+ */
+
+#ifndef CQ_SERVE_JOB_H
+#define CQ_SERVE_JOB_H
+
+#include <cstdint>
+#include <string>
+
+namespace cq::serve {
+
+/** What kind of work the job carries. */
+enum class JobKind
+{
+    /** Quantized spiral-MLP training under the resilience ladder
+     *  (the crash-harness leg), with optional fault injection. */
+    Train,
+    /** Quantization sweep: E2BQM format selection over seeded
+     *  tensors (the HQT policy path). */
+    Sweep,
+    /** Deterministic GEMM simulation batch over seeded operands. */
+    Sim,
+};
+
+const char *jobKindName(JobKind kind);
+
+/** Scheduling class. Higher runs first; Low is shed first. */
+enum class Priority : int
+{
+    Low = 0,
+    Normal = 1,
+    High = 2,
+};
+
+const char *priorityName(Priority p);
+
+/**
+ * Chaos-injection knobs (tools/cq_servetest, tests). All are
+ * deterministic functions of the attempt index, so a chaos trial
+ * replays identically for a fixed seed.
+ */
+struct ChaosSpec
+{
+    /** Throw a transient (retryable) error on the first N attempts. */
+    std::uint32_t failAttempts = 0;
+    /** Crash the executing worker thread on the first N attempts
+     *  (the scheduler respawns the worker and retries the job). */
+    std::uint32_t crashAttempts = 0;
+    /** Stall this long (cooperatively, in token-checked slices)
+     *  before the real work — models a hung dependency. A deadline
+     *  cuts the stall short. */
+    std::uint32_t hangMs = 0;
+    /** Fail every attempt with a non-retryable (permanent) error. */
+    bool permanentFailure = false;
+};
+
+/** One submitted unit of work. */
+struct JobSpec
+{
+    /** Caller-chosen identifier; must be unique and non-empty. */
+    std::string id;
+    /** Fair-share bucket; jobs of one tenant never starve another's. */
+    std::string tenant = "default";
+    JobKind kind = JobKind::Train;
+    Priority priority = Priority::Normal;
+
+    /** Seeds every RNG the job touches (isolated per job). */
+    std::uint64_t seed = 17;
+    /** Training steps / sweep iterations / simulated GEMMs. */
+    std::uint64_t steps = 40;
+    /** Train only: injected DRAM fault rate in flips/Mbit (0 = none);
+     *  drives the divergence-and-rollback resilience path. */
+    double faultRate = 0.0;
+    /** Train only: per-job generation-store directory (empty = no
+     *  checkpointing; cancellation then stops without a snapshot). */
+    std::string ckptDir;
+
+    /**
+     * Wall-clock budget from admission, enforced cooperatively at
+     * step boundaries (0 = none). An expired job is reported
+     * TimedOut — with its final checkpoint on disk when training with
+     * a ckptDir, so a resubmission resumes instead of restarting.
+     */
+    std::uint32_t deadlineMs = 0;
+    /** Retry budget for transient failures (attempts = 1 + retries). */
+    std::uint32_t maxRetries = 2;
+
+    ChaosSpec chaos;
+};
+
+/** Terminal state of an accepted job. */
+enum class JobState
+{
+    /** Still owned by the scheduler (queued / running / in backoff);
+     *  never appears in a terminal report. */
+    Pending,
+    Completed,
+    /** Retry budget exhausted (or permanent failure); in the
+     *  dead-letter list. */
+    Failed,
+    /** Cancelled before completion (drain/shutdown or explicit). */
+    Cancelled,
+    /** Deadline expired while queued or running. */
+    TimedOut,
+    /** Evicted by overload shedding before it ran. */
+    Shed,
+};
+
+const char *jobStateName(JobState state);
+
+/** Typed cause attached to non-Completed reports. */
+enum class FailureKind
+{
+    None,
+    /** Transient execution failure (retryable): injected fault
+     *  divergence, rollback exhaustion, flaky dependency. */
+    Transient,
+    /** The executing worker thread crashed (retryable). */
+    WorkerCrash,
+    /** Training diverged to a non-finite loss (retryable: a reseeded
+     *  fault pattern usually recovers). */
+    Diverged,
+    /** Checkpoint I/O failed past its own retry budget (retryable). */
+    CheckpointIo,
+    /** Non-retryable failure. */
+    Permanent,
+};
+
+const char *failureKindName(FailureKind kind);
+
+/** True when the failure class is worth a retry. */
+bool failureIsTransient(FailureKind kind);
+
+/** What one execution attempt produced (runner -> scheduler). */
+struct AttemptOutcome
+{
+    bool ok = false;
+    FailureKind failure = FailureKind::None;
+    /** Stopped early by the job's cancel token. */
+    bool cancelled = false;
+    /** One-line diagnostic for the report. */
+    std::string detail;
+    /** Payload (valid when ok): bitwise-comparable result checksum
+     *  (masters CRC for Train, output CRC otherwise). */
+    std::uint32_t resultCrc = 0;
+    double finalLoss = 0.0;
+    std::uint64_t stepsRun = 0;
+};
+
+/** The terminal report every accepted job ends in. */
+struct JobReport
+{
+    std::string id;
+    std::string tenant;
+    JobKind kind = JobKind::Train;
+    Priority priority = Priority::Normal;
+    JobState state = JobState::Pending;
+    FailureKind failure = FailureKind::None;
+    std::string detail;
+
+    /** Execution attempts (1 + retries actually performed). */
+    std::uint32_t attempts = 0;
+    std::uint32_t retries = 0;
+
+    /** Payload of the last successful attempt. */
+    std::uint32_t resultCrc = 0;
+    double finalLoss = 0.0;
+    std::uint64_t stepsRun = 0;
+
+    /** Admission-to-dispatch and dispatch-to-terminal wall times. */
+    double queueMs = 0.0;
+    double runMs = 0.0;
+    /** Thread allocation the last attempt ran under (0 = pool
+     *  default; 1 = degraded to inline under overload). */
+    unsigned grantedThreads = 0;
+};
+
+/**
+ * Validate @p spec for admission. Returns an empty string when
+ * acceptable, else a one-line reason (maps to RejectedInvalid).
+ */
+std::string validateJobSpec(const JobSpec &spec);
+
+} // namespace cq::serve
+
+#endif // CQ_SERVE_JOB_H

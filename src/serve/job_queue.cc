@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Admission control, fair-share pop ordering, and overload shedding.
+ */
+
+#include "serve/job_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cq::serve {
+
+const char *
+admissionVerdictName(AdmissionVerdict verdict)
+{
+    switch (verdict) {
+    case AdmissionVerdict::Admitted:
+        return "admitted";
+    case AdmissionVerdict::AdmittedAfterShed:
+        return "admitted-after-shed";
+    case AdmissionVerdict::RejectedQueueFull:
+        return "rejected-queue-full";
+    case AdmissionVerdict::RejectedShutdown:
+        return "rejected-shutdown";
+    case AdmissionVerdict::RejectedInvalid:
+        return "rejected-invalid";
+    }
+    return "?";
+}
+
+bool
+admissionAccepted(AdmissionVerdict verdict)
+{
+    return verdict == AdmissionVerdict::Admitted ||
+           verdict == AdmissionVerdict::AdmittedAfterShed;
+}
+
+const char *
+backpressureName(Backpressure bp)
+{
+    switch (bp) {
+    case Backpressure::None:
+        return "none";
+    case Backpressure::Soft:
+        return "soft";
+    case Backpressure::Hard:
+        return "hard";
+    }
+    return "?";
+}
+
+JobQueue::JobQueue(JobQueueConfig config) : config_(config)
+{
+    if (config_.capacity == 0)
+        config_.capacity = 1;
+    if (!(config_.softWatermark > 0.0))
+        config_.softWatermark = 0.5;
+}
+
+double
+JobQueue::occupancy() const
+{
+    return static_cast<double>(jobs_.size()) /
+           static_cast<double>(config_.capacity);
+}
+
+Backpressure
+JobQueue::backpressure() const
+{
+    if (jobs_.size() >= config_.capacity)
+        return Backpressure::Hard;
+    if (occupancy() >= config_.softWatermark)
+        return Backpressure::Soft;
+    return Backpressure::None;
+}
+
+std::uint32_t
+JobQueue::retryAfterMs() const
+{
+    switch (backpressure()) {
+    case Backpressure::None:
+        return 0;
+    case Backpressure::Soft:
+        return config_.retryAfterBaseMs;
+    case Backpressure::Hard:
+        return config_.retryAfterBaseMs * 4;
+    }
+    return 0;
+}
+
+SubmitOutcome
+JobQueue::admit(QueuedJob job, QueuedJob *shedVictim)
+{
+    SubmitOutcome out;
+    if (jobs_.size() >= config_.capacity) {
+        // Full: shed the newest job of the lowest priority class that
+        // is strictly below the arrival — newest first so the oldest
+        // queued work of that class keeps its place in line.
+        std::size_t victim = jobs_.size();
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            const auto &cand = jobs_[i];
+            if (cand.spec.priority >= job.spec.priority)
+                continue;
+            if (victim == jobs_.size() ||
+                cand.spec.priority < jobs_[victim].spec.priority ||
+                (cand.spec.priority == jobs_[victim].spec.priority &&
+                 cand.seq > jobs_[victim].seq))
+                victim = i;
+        }
+        if (victim == jobs_.size()) {
+            out.verdict = AdmissionVerdict::RejectedQueueFull;
+            out.backpressure = Backpressure::Hard;
+            out.retryAfterMs = retryAfterMs();
+            return out;
+        }
+        out.shedJobId = jobs_[victim].spec.id;
+        if (shedVictim != nullptr)
+            *shedVictim = std::move(jobs_[victim]);
+        jobs_.erase(jobs_.begin() +
+                    static_cast<std::ptrdiff_t>(victim));
+        out.verdict = AdmissionVerdict::AdmittedAfterShed;
+    } else {
+        out.verdict = AdmissionVerdict::Admitted;
+    }
+    jobs_.push_back(std::move(job));
+    out.backpressure = backpressure();
+    out.retryAfterMs = retryAfterMs();
+    return out;
+}
+
+void
+JobQueue::requeue(QueuedJob job)
+{
+    jobs_.push_back(std::move(job));
+}
+
+bool
+JobQueue::pop(std::uint64_t nowNs, QueuedJob *out)
+{
+    // Highest priority class holding at least one eligible job wins.
+    int bestPrio = -1;
+    for (const auto &j : jobs_) {
+        if (j.eligibleAtNs > nowNs)
+            continue;
+        bestPrio = std::max(bestPrio, static_cast<int>(j.spec.priority));
+    }
+    if (bestPrio < 0)
+        return false;
+
+    // Fair share inside the class: serve the lexicographically next
+    // tenant after the one served last (wrapping), FIFO per tenant.
+    const std::string &last = lastTenant_[bestPrio];
+    std::size_t pick = jobs_.size();
+    bool pickWrapped = false;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const auto &j = jobs_[i];
+        if (j.eligibleAtNs > nowNs ||
+            static_cast<int>(j.spec.priority) != bestPrio)
+            continue;
+        const bool wrapped = j.spec.tenant <= last;
+        if (pick == jobs_.size()) {
+            pick = i;
+            pickWrapped = wrapped;
+            continue;
+        }
+        const auto &cur = jobs_[pick];
+        bool better = false;
+        if (wrapped != pickWrapped) {
+            better = !wrapped; // unwrapped tenants come first
+        } else if (j.spec.tenant != cur.spec.tenant) {
+            better = j.spec.tenant < cur.spec.tenant;
+        } else {
+            better = j.seq < cur.seq;
+        }
+        if (better) {
+            pick = i;
+            pickWrapped = wrapped;
+        }
+    }
+    lastTenant_[bestPrio] = jobs_[pick].spec.tenant;
+    *out = std::move(jobs_[pick]);
+    jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(pick));
+    return true;
+}
+
+std::uint64_t
+JobQueue::nextEligibleNs(std::uint64_t nowNs) const
+{
+    std::uint64_t next = 0;
+    for (const auto &j : jobs_) {
+        if (j.eligibleAtNs <= nowNs)
+            continue;
+        if (next == 0 || j.eligibleAtNs < next)
+            next = j.eligibleAtNs;
+    }
+    return next;
+}
+
+bool
+JobQueue::remove(const std::string &id, QueuedJob *out)
+{
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        if (jobs_[i].spec.id != id)
+            continue;
+        if (out != nullptr)
+            *out = std::move(jobs_[i]);
+        jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    }
+    return false;
+}
+
+std::vector<QueuedJob>
+JobQueue::drainAll()
+{
+    std::vector<QueuedJob> out;
+    out.swap(jobs_);
+    std::sort(out.begin(), out.end(),
+              [](const QueuedJob &a, const QueuedJob &b) {
+                  return a.seq < b.seq;
+              });
+    return out;
+}
+
+} // namespace cq::serve

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Bounded multi-tenant job queue: admission control, priority +
+ * fair-share ordering, overload shedding, and backpressure hints.
+ *
+ * The queue is the server's overload valve. Its ladder (DESIGN.md §7)
+ * is: admit while there is room, signal *backpressure* to submitters
+ * as occupancy climbs, *shed* the lowest-priority queued work when a
+ * higher-priority arrival finds the queue full, and only then
+ * *reject* with a typed verdict. An accepted job is never silently
+ * dropped: a shed victim is handed back to the caller so the
+ * scheduler can emit its typed terminal report.
+ *
+ * Ordering is deterministic: priority classes strictly dominate, and
+ * inside a class tenants are served round-robin (so one tenant's
+ * burst cannot starve another) with FIFO order per tenant. All state
+ * transitions are functions of submission order only — never of
+ * wall-clock timing — so scheduler traces replay.
+ *
+ * Thread safety: none. The queue is a plain data structure owned by
+ * the Scheduler, which serializes access under its own mutex (and by
+ * unit tests, which drive it single-threaded).
+ */
+
+#ifndef CQ_SERVE_JOB_QUEUE_H
+#define CQ_SERVE_JOB_QUEUE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "serve/job.h"
+
+namespace cq::serve {
+
+/** Admission decision for one submit. */
+enum class AdmissionVerdict
+{
+    Admitted,
+    /** Admitted, but a lower-priority queued job was evicted to make
+     *  room (its id is in SubmitOutcome::shedJobId). */
+    AdmittedAfterShed,
+    /** Queue at capacity and nothing lower-priority to shed. */
+    RejectedQueueFull,
+    /** The server is draining; no new work is accepted. */
+    RejectedShutdown,
+    /** The spec failed validation (duplicate id, bad fields, ...). */
+    RejectedInvalid,
+};
+
+const char *admissionVerdictName(AdmissionVerdict verdict);
+
+/** True for the two accepting verdicts. */
+bool admissionAccepted(AdmissionVerdict verdict);
+
+/**
+ * Congestion signal returned with every submit — the submitter's cue
+ * to slow down *before* rejections start.
+ */
+enum class Backpressure
+{
+    /** Occupancy below the soft watermark: submit freely. */
+    None,
+    /** Above the soft watermark: pace submissions (retryAfterMs). */
+    Soft,
+    /** At capacity: the next submit will shed or be rejected. */
+    Hard,
+};
+
+const char *backpressureName(Backpressure bp);
+
+/** What a submit() call returns to the submitter. */
+struct SubmitOutcome
+{
+    AdmissionVerdict verdict = AdmissionVerdict::RejectedInvalid;
+    Backpressure backpressure = Backpressure::None;
+    /** Pacing hint for Soft/Hard (0 under None). */
+    std::uint32_t retryAfterMs = 0;
+    /** RejectedInvalid: the validation failure, one line. */
+    std::string reason;
+    /** AdmittedAfterShed: id of the evicted job. */
+    std::string shedJobId;
+};
+
+/** A job while the scheduler owns it (queued, running or backoff). */
+struct QueuedJob
+{
+    JobSpec spec;
+    /** Admission order; the FIFO + shed tie-break. */
+    std::uint64_t seq = 0;
+    /** Steady-clock ns at admission (queue-latency metric). */
+    std::uint64_t enqueuedNs = 0;
+    /** Backoff gate: not dispatchable before this (0 = immediately). */
+    std::uint64_t eligibleAtNs = 0;
+    /** Execution attempts so far. */
+    std::uint32_t attempts = 0;
+    std::uint32_t retries = 0;
+    /** Accumulated queued / executing wall time across attempts. */
+    std::uint64_t queuedNsTotal = 0;
+    std::uint64_t runNsTotal = 0;
+    /** Thread cap the latest dispatch ran under (0 = pool default). */
+    unsigned grantedThreads = 0;
+    /** Per-job cancellation; deadline armed at admission. Shared so
+     *  the drain path can cancel a job the worker currently runs. */
+    std::shared_ptr<CancelToken> token;
+};
+
+/** Queue tuning. */
+struct JobQueueConfig
+{
+    /** Bounded depth; arrivals beyond it shed or are rejected. */
+    std::size_t capacity = 16;
+    /** Occupancy fraction where backpressure turns Soft. */
+    double softWatermark = 0.5;
+    /** Base of the retry-after pacing hint. */
+    std::uint32_t retryAfterBaseMs = 25;
+};
+
+class JobQueue
+{
+  public:
+    explicit JobQueue(JobQueueConfig config);
+
+    const JobQueueConfig &config() const { return config_; }
+
+    /**
+     * Admission control for a new arrival. On Admitted* the job is
+     * queued; on AdmittedAfterShed the evicted victim is moved into
+     * @p shedVictim (the caller owns its terminal report). Retried
+     * jobs re-enter through requeue(), not here.
+     */
+    SubmitOutcome admit(QueuedJob job, QueuedJob *shedVictim);
+
+    /**
+     * Re-queue an already-accepted job for a retry attempt. Never
+     * rejected: accepted work is never lost, even if retries
+     * transiently push the queue past capacity.
+     */
+    void requeue(QueuedJob job);
+
+    /**
+     * Dispatch order: highest priority class with an eligible job
+     * (eligibleAtNs <= @p nowNs); round-robin across tenants inside
+     * the class; FIFO (lowest seq) within a tenant. Returns false
+     * when nothing is eligible.
+     */
+    bool pop(std::uint64_t nowNs, QueuedJob *out);
+
+    /** Earliest eligibleAtNs among queued-but-ineligible jobs, or 0
+     *  when every queued job is dispatchable (or the queue is
+     *  empty) — the scheduler's wait_until bound. */
+    std::uint64_t nextEligibleNs(std::uint64_t nowNs) const;
+
+    /** Remove the queued job with this id (explicit cancellation).
+     *  Returns false when no such job is queued. */
+    bool remove(const std::string &id, QueuedJob *out);
+
+    /** Remove every queued job (drain path). */
+    std::vector<QueuedJob> drainAll();
+
+    std::size_t size() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+
+    /** Current congestion signal (what the *next* submit would be
+     *  told, capacity permitting). */
+    Backpressure backpressure() const;
+
+    /** Occupancy fraction in [0, 1+] (retries may overshoot). */
+    double occupancy() const;
+
+    /** Pacing hint matching backpressure(). */
+    std::uint32_t retryAfterMs() const;
+
+  private:
+    JobQueueConfig config_;
+    /** Queued jobs, unordered; pop() scans (capacities are tens, not
+     *  millions — clarity wins over a heap here). */
+    std::vector<QueuedJob> jobs_;
+    /** Per-priority round-robin memory: the tenant served last. */
+    std::map<int, std::string> lastTenant_;
+};
+
+} // namespace cq::serve
+
+#endif // CQ_SERVE_JOB_QUEUE_H

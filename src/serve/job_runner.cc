@@ -1,0 +1,247 @@
+/**
+ * @file
+ * One job attempt: chaos injection, then the real workload.
+ */
+
+#include "serve/job_runner.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "nn/guard/crash_harness.h"
+#include "quant/policy.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace cq::serve {
+
+namespace {
+
+/** Accumulate a tensor's raw float bytes into a running CRC. */
+std::uint32_t
+crcTensor(const Tensor &t, std::uint32_t crc)
+{
+    return crc32(t.data(), t.numel() * sizeof(float), crc);
+}
+
+/** Chaos stall: sleep in 1 ms slices so a deadline or drain cuts the
+ *  "hung dependency" short instead of blocking a worker for real. */
+bool
+hangCooperatively(std::uint32_t ms, CancelToken *token)
+{
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < until) {
+        if (token != nullptr && token->cancelled())
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+}
+
+AttemptOutcome
+runTrain(const JobSpec &spec, CancelToken *token)
+{
+    AttemptOutcome out;
+    nn::guard::CrashHarnessConfig cfg;
+    cfg.seed = spec.seed;
+    cfg.steps = spec.steps;
+    cfg.dir = spec.ckptDir;
+    cfg.ckptEvery = 10;
+    cfg.asyncCheckpoint = true;
+    cfg.handleSignals = false;
+    cfg.cancel = token;
+    cfg.faultFlipsPerMbit = spec.faultRate;
+
+    nn::guard::CrashHarnessResult res;
+    try {
+        res = nn::guard::runCrashHarness(cfg);
+    } catch (const std::exception &e) {
+        // The only throwing path in a healthy leg is checkpoint I/O
+        // (the async writer rethrows commit failures past its own
+        // retry budget).
+        out.failure = FailureKind::CheckpointIo;
+        out.detail = e.what();
+        return out;
+    }
+    out.stepsRun = res.stepsRun;
+    out.finalLoss = res.finalLoss;
+    out.resultCrc = res.mastersCrc;
+    if (res.cancelled) {
+        out.cancelled = true;
+        out.detail = "cancelled at step boundary";
+        return out;
+    }
+    if (!std::isfinite(res.finalLoss)) {
+        out.failure = FailureKind::Diverged;
+        out.detail = "training diverged to a non-finite loss";
+        return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+AttemptOutcome
+runSweep(const JobSpec &spec, CancelToken *token)
+{
+    AttemptOutcome out;
+    const quant::AlgorithmConfig algo =
+        quant::AlgorithmConfig::zhang2020Hqt(64);
+    static constexpr quant::TensorRole kRoles[] = {
+        quant::TensorRole::Weight,
+        quant::TensorRole::Activation,
+        quant::TensorRole::NeuronGradient,
+    };
+    Rng rng(spec.seed);
+    std::uint32_t crc = 0;
+    double lastMean = 0.0;
+    for (std::uint64_t i = 0; i < spec.steps; ++i) {
+        if (token != nullptr && token->cancelled()) {
+            out.cancelled = true;
+            out.detail = "cancelled between sweep iterations";
+            break;
+        }
+        Tensor t({64, 64});
+        t.fillGaussian(rng, 0.0f, 1.0f + 0.01f * static_cast<float>(i));
+        const Tensor q =
+            quant::applyPolicy(t, algo, kRoles[i % 3]);
+        crc = crcTensor(q, crc);
+        lastMean = q.mean();
+        ++out.stepsRun;
+    }
+    out.resultCrc = crc;
+    out.finalLoss = lastMean;
+    out.ok = !out.cancelled;
+    return out;
+}
+
+AttemptOutcome
+runSim(const JobSpec &spec, CancelToken *token)
+{
+    AttemptOutcome out;
+    Rng rng(spec.seed);
+    std::uint32_t crc = 0;
+    double lastMean = 0.0;
+    for (std::uint64_t i = 0; i < spec.steps; ++i) {
+        if (token != nullptr && token->cancelled()) {
+            out.cancelled = true;
+            out.detail = "cancelled between simulated GEMMs";
+            break;
+        }
+        Tensor a({32, 48});
+        Tensor b({48, 32});
+        a.fillUniform(rng, -1.0f, 1.0f);
+        b.fillUniform(rng, -1.0f, 1.0f);
+        const Tensor c = matmul(a, b);
+        crc = crcTensor(c, crc);
+        lastMean = c.mean();
+        ++out.stepsRun;
+    }
+    out.resultCrc = crc;
+    out.finalLoss = lastMean;
+    out.ok = !out.cancelled;
+    return out;
+}
+
+} // namespace
+
+AttemptOutcome
+runJobAttempt(const JobSpec &spec, CancelToken *token,
+              std::uint32_t attempt)
+{
+    // Chaos ladder, all deterministic in the attempt index. Crash
+    // wins over transient failure so a spec combining both exercises
+    // the respawn path first.
+    if (attempt <= spec.chaos.crashAttempts)
+        throw WorkerCrashError("injected worker crash (attempt " +
+                               std::to_string(attempt) + ")");
+    if (attempt <= spec.chaos.failAttempts) {
+        AttemptOutcome out;
+        out.failure = FailureKind::Transient;
+        out.detail = "injected transient failure (attempt " +
+                     std::to_string(attempt) + ")";
+        return out;
+    }
+    if (spec.chaos.permanentFailure) {
+        AttemptOutcome out;
+        out.failure = FailureKind::Permanent;
+        out.detail = "injected permanent failure";
+        return out;
+    }
+    if (spec.chaos.hangMs > 0 &&
+        !hangCooperatively(spec.chaos.hangMs, token)) {
+        AttemptOutcome out;
+        out.cancelled = true;
+        out.detail = "cancelled during injected hang";
+        return out;
+    }
+
+    switch (spec.kind) {
+    case JobKind::Train:
+        return runTrain(spec, token);
+    case JobKind::Sweep:
+        return runSweep(spec, token);
+    case JobKind::Sim:
+        return runSim(spec, token);
+    }
+    AttemptOutcome out;
+    out.failure = FailureKind::Permanent;
+    out.detail = "unknown job kind";
+    return out;
+}
+
+JobReport
+runJobStandalone(const JobSpec &spec)
+{
+    JobReport report;
+    report.id = spec.id;
+    report.tenant = spec.tenant;
+    report.kind = spec.kind;
+    report.priority = spec.priority;
+
+    CancelToken token;
+    if (spec.deadlineMs > 0)
+        token.setDeadlineInMs(spec.deadlineMs);
+
+    for (std::uint32_t attempt = 1;; ++attempt) {
+        report.attempts = attempt;
+        AttemptOutcome out;
+        try {
+            out = runJobAttempt(spec, &token, attempt);
+        } catch (const WorkerCrashError &e) {
+            out.failure = FailureKind::WorkerCrash;
+            out.detail = e.what();
+        }
+        report.detail = out.detail;
+        report.stepsRun = out.stepsRun;
+        report.finalLoss = out.finalLoss;
+        report.resultCrc = out.resultCrc;
+        if (out.ok) {
+            report.state = JobState::Completed;
+            return report;
+        }
+        if (out.cancelled) {
+            report.state = token.reason() == CancelReason::Deadline
+                               ? JobState::TimedOut
+                               : JobState::Cancelled;
+            return report;
+        }
+        report.failure = out.failure;
+        if (!failureIsTransient(out.failure) ||
+            attempt > spec.maxRetries) {
+            report.state = JobState::Failed;
+            return report;
+        }
+        ++report.retries;
+        token.resetForRetry();
+        // No backoff sleep standalone: the oracle only cares about
+        // the seed-deterministic payload, not pacing.
+    }
+}
+
+} // namespace cq::serve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Executes one attempt of a job on the calling thread.
+ *
+ * The runner is where a JobSpec becomes real work: a crash-harness
+ * training leg (JobKind::Train), an E2BQM quantization sweep
+ * (JobKind::Sweep) or a deterministic GEMM simulation batch
+ * (JobKind::Sim). Each attempt is hermetic — all randomness flows
+ * from the spec's seed through cq::Rng, so an attempt's result CRC is
+ * a pure function of the spec. That is the isolation contract the
+ * scheduler's bitwise-identity tests lean on: running a job inside
+ * the server, between other tenants' jobs, on a shrunk thread grant,
+ * after retries — none of it may change the payload.
+ *
+ * Chaos injection (spec.chaos) is resolved here, *before* the real
+ * work, as a deterministic function of the attempt index. A worker
+ * crash is modelled by throwing WorkerCrashError out of the runner;
+ * the scheduler treats it as the executing worker dying (respawns the
+ * worker, retries the job).
+ */
+
+#ifndef CQ_SERVE_JOB_RUNNER_H
+#define CQ_SERVE_JOB_RUNNER_H
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/cancel.h"
+#include "serve/job.h"
+
+namespace cq::serve {
+
+/**
+ * Thrown (only) to model the executing worker crashing mid-job. The
+ * scheduler catches it at the top of its worker loop, performs
+ * retry/dead-letter bookkeeping for the job, respawns a replacement
+ * worker and lets the crashed thread exit.
+ */
+class WorkerCrashError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Run attempt @p attempt (1-based) of @p spec on the calling thread.
+ * @p token may be nullptr (no cancellation); when set it is polled at
+ * every step boundary, so cancellation is prompt and checkpoint-clean
+ * but never tears a step. Throws WorkerCrashError for injected worker
+ * crashes; every other failure is returned as a typed AttemptOutcome.
+ */
+AttemptOutcome runJobAttempt(const JobSpec &spec, CancelToken *token,
+                             std::uint32_t attempt);
+
+/**
+ * Reference execution: run @p spec standalone (no queue, no worker
+ * pool, no thread cap) with the scheduler's retry semantics, and
+ * return the terminal report. The server's report for the same spec
+ * must match this bitwise in resultCrc/finalLoss/stepsRun — the
+ * isolation oracle used by tests and tools/cq_servetest.
+ */
+JobReport runJobStandalone(const JobSpec &spec);
+
+} // namespace cq::serve
+
+#endif // CQ_SERVE_JOB_RUNNER_H

@@ -30,6 +30,14 @@ struct Event
 
 /**
  * Min-heap of events ordered by (tick, sequence number).
+ *
+ * The sequence number is the deterministic tie-break: two events
+ * scheduled at the same tick always fire in the order they were
+ * scheduled — including events scheduled *during* execution at the
+ * current tick, which run after every already-queued event of that
+ * tick. Scheduling order is the only input, never heap layout or
+ * wall-clock timing, so a scheduler trace replays identically across
+ * runs (tested in tests/test_sim_dram.cc).
  */
 class EventQueue
 {

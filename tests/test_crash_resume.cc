@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
@@ -37,6 +38,7 @@
 #include "nn/linear.h"
 #include "nn/network.h"
 #include "nn/quant_trainer.h"
+#include "obs/metrics.h"
 #include "sim/faults/kill_schedule.h"
 
 namespace cq {
@@ -417,6 +419,56 @@ TEST(AsyncCkpt, PropagatesWriterExceptions)
     EXPECT_EQ(writer.committed(), 0u);
 }
 
+TEST(AsyncCkpt, RetriesTransientWriteFailuresWithinBudget)
+{
+    CheckpointStoreConfig cfg;
+    cfg.dir = freshDir("async_retry");
+    // Fail injection: the first N write calls throw, then the disk
+    // "recovers". The first commit attempt dies on its first chunk;
+    // the writer's bounded retry must land the snapshot anyway.
+    std::atomic<int> failuresLeft{2};
+    cfg.write.onWrite = [&](std::size_t) {
+        if (failuresLeft.fetch_sub(1, std::memory_order_relaxed) > 0)
+            throw std::runtime_error("transient write failure");
+    };
+    CheckpointStore store(cfg);
+    auto &retriesMetric =
+        obs::MetricRegistry::instance().counter("ckpt.write_retries");
+    const double metricBefore = retriesMetric.value();
+
+    AsyncCheckpointWriter writer(store);
+    writer.submit(makeSnap(7));
+    ASSERT_EQ(writer.drain(), CheckpointWriteResult::Ok);
+    EXPECT_EQ(writer.committed(), 1u);
+    EXPECT_GE(writer.retried(), 1u);
+    EXPECT_GE(retriesMetric.value() - metricBefore, 1.0);
+
+    TrainerSnapshot snap;
+    EXPECT_EQ(store.loadLatest(snap).result, CheckpointLoadResult::Ok);
+    EXPECT_EQ(snap.step, 7u);
+}
+
+TEST(AsyncCkpt, RetryBudgetExhaustionSurfacesTheError)
+{
+    CheckpointStoreConfig cfg;
+    cfg.dir = freshDir("async_retry_budget");
+    std::atomic<int> attempts{0};
+    cfg.write.onWrite = [&](std::size_t) {
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error("disk stays on fire");
+    };
+    CheckpointStore store(cfg);
+    AsyncCheckpointWriter::RetryPolicy retry;
+    retry.maxRetries = 1;
+    retry.backoffBaseMicros = 0; // no sleeping in tests
+    AsyncCheckpointWriter writer(store, retry);
+    writer.submit(makeSnap(1));
+    EXPECT_THROW(writer.drain(), std::runtime_error);
+    EXPECT_EQ(writer.committed(), 0u);
+    EXPECT_EQ(writer.retried(), 1u); // budget spent, then surfaced
+    EXPECT_EQ(attempts.load(), 2);   // original + one retry
+}
+
 // ------------------------------------------------------ signal shutdown
 
 TEST(SignalShutdown, HandlerSetsFlagOnSigterm)
@@ -467,6 +519,46 @@ TEST(SignalShutdown, TrainerWritesFinalCheckpointAndStops)
     const auto out = trainer.checkpointStore()->loadLatest(snap);
     EXPECT_EQ(out.result, CheckpointLoadResult::Ok);
     EXPECT_EQ(snap.step, 4u);
+}
+
+TEST(SignalShutdown, CancelTokenStopsTrainerCheckpointClean)
+{
+    const std::string dir = freshDir("cancel_token_stop");
+    nn::SpiralDataset data(2, 0.1, 17);
+    Rng rng(18);
+    nn::Network net;
+    net.add(std::make_unique<nn::Linear>("fc1", 2, 32, rng));
+    net.add(std::make_unique<nn::Activation>("t", nn::ActKind::Tanh));
+    net.add(std::make_unique<nn::Linear>("fc2", 32, 2, rng));
+
+    CancelToken token;
+    nn::QuantTrainerConfig cfg;
+    cfg.optimizer.kind = nn::OptimizerKind::Adam;
+    cfg.resilience.enabled = true;
+    cfg.resilience.checkpointDir = dir;
+    cfg.resilience.checkpointInterval = 1000; // only the final one
+    cfg.resilience.cancel = &token;           // no signal handling
+    cfg.resilience.dataRng = &data.rng();
+    nn::QuantTrainer trainer(net, cfg);
+
+    for (int i = 0; i < 2; ++i) {
+        const auto b = data.sample(16);
+        trainer.stepClassification(b.inputs, b.labels);
+    }
+    EXPECT_FALSE(trainer.stopRequested());
+    token.cancel(CancelReason::Deadline);
+    const auto b = data.sample(16);
+    trainer.stepClassification(b.inputs, b.labels);
+    // The cancel is observed at the step boundary: the in-flight step
+    // completes, the final checkpoint commits, and later steps no-op.
+    EXPECT_TRUE(trainer.stopRequested());
+    EXPECT_TRUE(trainer.cancelObserved());
+
+    ASSERT_NE(trainer.checkpointStore(), nullptr);
+    TrainerSnapshot snap;
+    const auto out = trainer.checkpointStore()->loadLatest(snap);
+    EXPECT_EQ(out.result, CheckpointLoadResult::Ok);
+    EXPECT_EQ(snap.step, 3u);
 }
 
 // ------------------------------------------- fork-based kill–restart
@@ -604,6 +696,32 @@ TEST(CrashResume, ManifestStaysAtomicUnderMidPruneKill)
         ASSERT_LE(out.gen, 3u);
         ASSERT_EQ(snap.step, out.gen); // step == gen in this setup
     }
+}
+
+// Death test => forks, so it lives in the CrashResume group with the
+// other forking tests (kept out of the TSAN selection).
+TEST(CrashResume, SecondShutdownSignalExitsImmediately)
+{
+    EXPECT_EXIT(
+        {
+            clearShutdownRequest();
+            installShutdownSignalHandler();
+            ::raise(SIGTERM); // first: request a graceful drain
+            ::raise(SIGTERM); // second: escalate to immediate exit
+            ::_exit(0);       // never reached
+        },
+        ::testing::ExitedWithCode(128 + SIGTERM),
+        "second shutdown signal");
+    EXPECT_EXIT(
+        {
+            clearShutdownRequest();
+            installShutdownSignalHandler();
+            ::raise(SIGINT);
+            ::raise(SIGINT);
+            ::_exit(0);
+        },
+        ::testing::ExitedWithCode(128 + SIGINT),
+        "exiting immediately");
 }
 
 } // namespace

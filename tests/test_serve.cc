@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Job-server tests: admission control, fair-share ordering, deadlines,
+ * retry/backoff, degradation, drain, and serve-vs-standalone identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fileutil.h"
+#include "serve/job_queue.h"
+#include "serve/job_runner.h"
+#include "serve/scheduler.h"
+
+using namespace cq;
+using namespace cq::serve;
+
+namespace {
+
+JobSpec
+simSpec(const std::string &id, std::uint64_t steps = 8)
+{
+    JobSpec spec;
+    spec.id = id;
+    spec.kind = JobKind::Sim;
+    spec.steps = steps;
+    return spec;
+}
+
+QueuedJob
+queued(const std::string &id, Priority prio,
+       const std::string &tenant, std::uint64_t seq)
+{
+    QueuedJob job;
+    job.spec = simSpec(id);
+    job.spec.priority = prio;
+    job.spec.tenant = tenant;
+    job.seq = seq;
+    job.token = std::make_shared<CancelToken>();
+    return job;
+}
+
+/** Fast scheduler config for tests: millisecond-scale backoff. */
+SchedulerConfig
+fastConfig(unsigned workers, std::size_t capacity)
+{
+    SchedulerConfig cfg;
+    cfg.workers = workers;
+    cfg.queue.capacity = capacity;
+    cfg.backoffBaseMs = 1;
+    cfg.backoffCapMs = 5;
+    cfg.backoffScale = 0.5;
+    return cfg;
+}
+
+/** Wait until the queue itself is empty (all submitted jobs picked
+ *  up by workers), so tests can stage "worker busy, queue free". */
+void
+waitQueueDrained(const Scheduler &sched)
+{
+    for (int i = 0; i < 2000; ++i) {
+        if (sched.backpressure() == Backpressure::None)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "queue never drained";
+}
+
+JobReport
+reportFor(const Scheduler &sched, const std::string &id)
+{
+    for (const JobReport &r : sched.reports())
+        if (r.id == id)
+            return r;
+    JobReport none;
+    return none;
+}
+
+// ---------------------------------------------------------------------------
+// Spec validation
+// ---------------------------------------------------------------------------
+
+TEST(ServeSpec, ValidatesIdTenantAndRanges)
+{
+    EXPECT_EQ(validateJobSpec(simSpec("ok-1")), "");
+    EXPECT_NE(validateJobSpec(simSpec("")), "");
+    EXPECT_NE(validateJobSpec(simSpec("has space")), "");
+    EXPECT_NE(validateJobSpec(simSpec(std::string(200, 'a'))), "");
+
+    JobSpec s = simSpec("t");
+    s.tenant = "";
+    EXPECT_NE(validateJobSpec(s), "");
+
+    s = simSpec("t");
+    s.steps = 0;
+    EXPECT_NE(validateJobSpec(s), "");
+
+    s = simSpec("t");
+    s.ckptDir = "/tmp/x"; // train-only field on a sim job
+    EXPECT_NE(validateJobSpec(s), "");
+
+    s = simSpec("t");
+    s.faultRate = -1.0;
+    EXPECT_NE(validateJobSpec(s), "");
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue: admission, shedding, backpressure, ordering
+// ---------------------------------------------------------------------------
+
+TEST(ServeQueue, AdmitsUntilCapacityThenRejects)
+{
+    JobQueueConfig cfg;
+    cfg.capacity = 2;
+    JobQueue q(cfg);
+
+    EXPECT_EQ(q.admit(queued("a", Priority::Normal, "t", 1), nullptr)
+                  .verdict,
+              AdmissionVerdict::Admitted);
+    EXPECT_EQ(q.admit(queued("b", Priority::Normal, "t", 2), nullptr)
+                  .verdict,
+              AdmissionVerdict::Admitted);
+    // Same priority: nothing strictly lower to shed.
+    EXPECT_EQ(q.admit(queued("c", Priority::Normal, "t", 3), nullptr)
+                  .verdict,
+              AdmissionVerdict::RejectedQueueFull);
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(ServeQueue, ShedsNewestOfLowestPriorityClass)
+{
+    JobQueueConfig cfg;
+    cfg.capacity = 3;
+    JobQueue q(cfg);
+    q.admit(queued("low-old", Priority::Low, "t", 1), nullptr);
+    q.admit(queued("norm", Priority::Normal, "t", 2), nullptr);
+    q.admit(queued("low-new", Priority::Low, "t", 3), nullptr);
+
+    QueuedJob victim;
+    const SubmitOutcome out =
+        q.admit(queued("high", Priority::High, "t", 4), &victim);
+    EXPECT_EQ(out.verdict, AdmissionVerdict::AdmittedAfterShed);
+    // Lowest class first, newest within it.
+    EXPECT_EQ(out.shedJobId, "low-new");
+    EXPECT_EQ(victim.spec.id, "low-new");
+    EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(ServeQueue, LowPriorityArrivalCannotShedAnything)
+{
+    JobQueueConfig cfg;
+    cfg.capacity = 1;
+    JobQueue q(cfg);
+    q.admit(queued("norm", Priority::Normal, "t", 1), nullptr);
+    const SubmitOutcome out =
+        q.admit(queued("low", Priority::Low, "t", 2), nullptr);
+    EXPECT_EQ(out.verdict, AdmissionVerdict::RejectedQueueFull);
+}
+
+TEST(ServeQueue, BackpressureLadderTracksOccupancy)
+{
+    JobQueueConfig cfg;
+    cfg.capacity = 4;
+    cfg.softWatermark = 0.5;
+    JobQueue q(cfg);
+    EXPECT_EQ(q.backpressure(), Backpressure::None);
+    q.admit(queued("a", Priority::Normal, "t", 1), nullptr);
+    EXPECT_EQ(q.backpressure(), Backpressure::None);
+    q.admit(queued("b", Priority::Normal, "t", 2), nullptr);
+    EXPECT_EQ(q.backpressure(), Backpressure::Soft);
+    EXPECT_GT(q.retryAfterMs(), 0u);
+    q.admit(queued("c", Priority::Normal, "t", 3), nullptr);
+    q.admit(queued("d", Priority::Normal, "t", 4), nullptr);
+    EXPECT_EQ(q.backpressure(), Backpressure::Hard);
+    EXPECT_GT(q.retryAfterMs(), q.config().retryAfterBaseMs);
+}
+
+TEST(ServeQueue, PopPrefersHigherPriorityThenTenantRoundRobin)
+{
+    JobQueue q(JobQueueConfig{});
+    q.admit(queued("a1", Priority::Normal, "acme", 1), nullptr);
+    q.admit(queued("a2", Priority::Normal, "acme", 2), nullptr);
+    q.admit(queued("b1", Priority::Normal, "blue", 3), nullptr);
+    q.admit(queued("hi", Priority::High, "crab", 4), nullptr);
+
+    QueuedJob job;
+    ASSERT_TRUE(q.pop(1, &job));
+    EXPECT_EQ(job.spec.id, "hi"); // priority dominates arrival order
+    ASSERT_TRUE(q.pop(1, &job));
+    EXPECT_EQ(job.spec.id, "a1"); // FIFO within the first tenant
+    ASSERT_TRUE(q.pop(1, &job));
+    EXPECT_EQ(job.spec.id, "b1"); // round-robin: blue before acme#2
+    ASSERT_TRUE(q.pop(1, &job));
+    EXPECT_EQ(job.spec.id, "a2");
+    EXPECT_FALSE(q.pop(1, &job));
+}
+
+TEST(ServeQueue, BackoffGateDefersEligibility)
+{
+    JobQueue q(JobQueueConfig{});
+    QueuedJob late = queued("late", Priority::Normal, "t", 1);
+    late.eligibleAtNs = 1000;
+    q.requeue(std::move(late));
+    q.admit(queued("now", Priority::Normal, "t", 2), nullptr);
+
+    QueuedJob job;
+    ASSERT_TRUE(q.pop(10, &job));
+    EXPECT_EQ(job.spec.id, "now");
+    EXPECT_FALSE(q.pop(10, &job));
+    EXPECT_EQ(q.nextEligibleNs(10), 1000u);
+    ASSERT_TRUE(q.pop(1000, &job));
+    EXPECT_EQ(job.spec.id, "late");
+    EXPECT_EQ(q.nextEligibleNs(1000), 0u);
+}
+
+TEST(ServeQueue, RemoveAndDrainAll)
+{
+    JobQueue q(JobQueueConfig{});
+    q.admit(queued("a", Priority::Normal, "t", 2), nullptr);
+    q.admit(queued("b", Priority::Normal, "t", 1), nullptr);
+    QueuedJob out;
+    EXPECT_TRUE(q.remove("a", &out));
+    EXPECT_EQ(out.spec.id, "a");
+    EXPECT_FALSE(q.remove("a", &out));
+    q.admit(queued("c", Priority::Normal, "t", 3), nullptr);
+    const auto drained = q.drainAll();
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0].spec.id, "b"); // submission (seq) order
+    EXPECT_EQ(drained[1].spec.id, "c");
+    EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: happy path, typed rejections, reports
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, RunsMixedKindsToCompletion)
+{
+    Scheduler sched(fastConfig(2, 16));
+    JobSpec sweep;
+    sweep.id = "sweep";
+    sweep.kind = JobKind::Sweep;
+    sweep.steps = 6;
+    EXPECT_TRUE(
+        admissionAccepted(sched.submit(simSpec("sim")).verdict));
+    EXPECT_TRUE(admissionAccepted(sched.submit(sweep).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    const auto reports = sched.reports();
+    ASSERT_EQ(reports.size(), 2u);
+    for (const JobReport &r : reports) {
+        EXPECT_EQ(r.state, JobState::Completed)
+            << r.id << ": " << r.detail;
+        EXPECT_EQ(r.failure, FailureKind::None);
+        EXPECT_EQ(r.attempts, 1u);
+        EXPECT_NE(r.resultCrc, 0u);
+    }
+    EXPECT_EQ(sched.stats().completed, 2u);
+    EXPECT_EQ(sched.stats().terminal(), sched.stats().accepted);
+}
+
+TEST(Scheduler, RejectsInvalidAndDuplicateIds)
+{
+    Scheduler sched(fastConfig(1, 4));
+    EXPECT_EQ(sched.submit(simSpec("")).verdict,
+              AdmissionVerdict::RejectedInvalid);
+    EXPECT_TRUE(
+        admissionAccepted(sched.submit(simSpec("dup")).verdict));
+    const SubmitOutcome out = sched.submit(simSpec("dup"));
+    EXPECT_EQ(out.verdict, AdmissionVerdict::RejectedInvalid);
+    EXPECT_NE(out.reason.find("duplicate"), std::string::npos);
+    ASSERT_TRUE(sched.waitIdle(30000));
+    EXPECT_EQ(sched.stats().rejectedInvalid, 2u);
+    EXPECT_EQ(sched.stats().accepted, 1u);
+}
+
+TEST(Scheduler, DrainRejectsNewWorkAndCancelsQueued)
+{
+    SchedulerConfig cfg = fastConfig(1, 8);
+    Scheduler sched(cfg);
+
+    JobSpec blocker = simSpec("blocker");
+    blocker.chaos.hangMs = 150;
+    ASSERT_TRUE(admissionAccepted(sched.submit(blocker).verdict));
+    ASSERT_TRUE(
+        admissionAccepted(sched.submit(simSpec("queued")).verdict));
+
+    sched.requestDrain();
+    EXPECT_TRUE(sched.draining());
+    EXPECT_EQ(sched.submit(simSpec("late")).verdict,
+              AdmissionVerdict::RejectedShutdown);
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    const JobReport queuedReport = reportFor(sched, "queued");
+    EXPECT_EQ(queuedReport.state, JobState::Cancelled);
+    EXPECT_EQ(queuedReport.attempts, 0u); // never dispatched
+    const JobReport blockerReport = reportFor(sched, "blocker");
+    EXPECT_EQ(blockerReport.state, JobState::Cancelled);
+    EXPECT_EQ(sched.stats().rejectedShutdown, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry / backoff / dead letters / worker crashes
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, RetriesTransientFailuresWithinBudget)
+{
+    Scheduler sched(fastConfig(1, 4));
+    JobSpec spec = simSpec("flaky");
+    spec.chaos.failAttempts = 2;
+    spec.maxRetries = 2;
+    ASSERT_TRUE(admissionAccepted(sched.submit(spec).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    const JobReport r = reportFor(sched, "flaky");
+    EXPECT_EQ(r.state, JobState::Completed) << r.detail;
+    EXPECT_EQ(r.attempts, 3u);
+    EXPECT_EQ(r.retries, 2u);
+    EXPECT_EQ(sched.stats().retries, 2u);
+    EXPECT_TRUE(sched.deadLetters().empty());
+}
+
+TEST(Scheduler, DeadLettersBudgetExhaustedAndPermanentFailures)
+{
+    Scheduler sched(fastConfig(1, 4));
+    JobSpec hopeless = simSpec("hopeless");
+    hopeless.chaos.failAttempts = 10;
+    hopeless.maxRetries = 1;
+    JobSpec perm = simSpec("perm");
+    perm.chaos.permanentFailure = true;
+    perm.maxRetries = 3;
+    ASSERT_TRUE(admissionAccepted(sched.submit(hopeless).verdict));
+    ASSERT_TRUE(admissionAccepted(sched.submit(perm).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    const auto dead = sched.deadLetters();
+    ASSERT_EQ(dead.size(), 2u);
+    const JobReport h = reportFor(sched, "hopeless");
+    EXPECT_EQ(h.state, JobState::Failed);
+    EXPECT_EQ(h.failure, FailureKind::Transient);
+    EXPECT_EQ(h.attempts, 2u); // 1 + maxRetries, budget respected
+    const JobReport p = reportFor(sched, "perm");
+    EXPECT_EQ(p.failure, FailureKind::Permanent);
+    EXPECT_EQ(p.attempts, 1u); // permanent failures never retry
+}
+
+TEST(Scheduler, BackoffJitterIsDeterministicPerJobAndRetry)
+{
+    SchedulerConfig cfg = fastConfig(1, 4);
+    Scheduler a(cfg), b(cfg);
+    // Same config => identical deterministic schedule; distinct ids
+    // decorrelate (jitter is a hash of (seed, id, retry)).
+    // The observable contract: a retried job completes and the two
+    // schedulers agree bit-for-bit on the payload.
+    JobSpec spec = simSpec("jitter");
+    spec.chaos.failAttempts = 1;
+    ASSERT_TRUE(admissionAccepted(a.submit(spec).verdict));
+    ASSERT_TRUE(admissionAccepted(b.submit(spec).verdict));
+    ASSERT_TRUE(a.waitIdle(30000));
+    ASSERT_TRUE(b.waitIdle(30000));
+    const JobReport ra = reportFor(a, "jitter");
+    const JobReport rb = reportFor(b, "jitter");
+    EXPECT_EQ(ra.state, JobState::Completed);
+    EXPECT_EQ(ra.resultCrc, rb.resultCrc);
+    EXPECT_EQ(ra.attempts, rb.attempts);
+}
+
+TEST(Scheduler, WorkerCrashRespawnsCapacityAndRetriesJob)
+{
+    Scheduler sched(fastConfig(1, 8));
+    JobSpec crashy = simSpec("crashy");
+    crashy.chaos.crashAttempts = 1;
+    ASSERT_TRUE(admissionAccepted(sched.submit(crashy).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    const JobReport r = reportFor(sched, "crashy");
+    EXPECT_EQ(r.state, JobState::Completed) << r.detail;
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_EQ(sched.stats().workerCrashes, 1u);
+
+    // The respawned worker carries the pool: later jobs still run.
+    ASSERT_TRUE(
+        admissionAccepted(sched.submit(simSpec("after")).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+    EXPECT_EQ(reportFor(sched, "after").state, JobState::Completed);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, DeadlineCutsRunningJobAtStepBoundary)
+{
+    Scheduler sched(fastConfig(1, 4));
+    JobSpec spec = simSpec("slowpoke");
+    spec.chaos.hangMs = 5000; // would block the worker for 5 s...
+    spec.deadlineMs = 30;     // ...but the deadline cuts it short
+    ASSERT_TRUE(admissionAccepted(sched.submit(spec).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    const JobReport r = reportFor(sched, "slowpoke");
+    EXPECT_EQ(r.state, JobState::TimedOut) << r.detail;
+    EXPECT_EQ(r.failure, FailureKind::None);
+}
+
+TEST(Scheduler, DeadlineExpiredWhileQueuedReportsTimedOut)
+{
+    Scheduler sched(fastConfig(1, 8));
+    JobSpec blocker = simSpec("blocker");
+    blocker.chaos.hangMs = 120;
+    JobSpec urgent = simSpec("urgent");
+    urgent.deadlineMs = 10; // expires behind the blocker
+    ASSERT_TRUE(admissionAccepted(sched.submit(blocker).verdict));
+    ASSERT_TRUE(admissionAccepted(sched.submit(urgent).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    const JobReport r = reportFor(sched, "urgent");
+    EXPECT_EQ(r.state, JobState::TimedOut) << r.detail;
+    EXPECT_EQ(r.attempts, 0u); // never dispatched
+}
+
+TEST(Scheduler, TimedOutTrainJobLeavesUsableCheckpoint)
+{
+    const std::string dir = ::testing::TempDir() + "serve-deadline";
+    Scheduler sched(fastConfig(1, 4));
+    JobSpec spec;
+    spec.id = "train-deadline";
+    spec.kind = JobKind::Train;
+    spec.steps = 1000000; // can't finish: the deadline must stop it
+    spec.ckptDir = dir;
+    spec.deadlineMs = 300;
+    ASSERT_TRUE(admissionAccepted(sched.submit(spec).verdict));
+    ASSERT_TRUE(sched.waitIdle(60000));
+
+    const JobReport r = reportFor(sched, "train-deadline");
+    EXPECT_EQ(r.state, JobState::TimedOut) << r.detail;
+    EXPECT_GT(r.stepsRun, 0u);
+    // Checkpoint-clean cancellation: the final snapshot is on disk.
+    EXPECT_TRUE(pathExists(dir + "/ckpt.manifest"));
+}
+
+// ---------------------------------------------------------------------------
+// Overload: shedding, degradation, explicit cancel
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, ShedsLowestPriorityQueuedJobForHighArrival)
+{
+    Scheduler sched(fastConfig(1, 2));
+    JobSpec blocker = simSpec("blocker");
+    blocker.chaos.hangMs = 150;
+    ASSERT_TRUE(admissionAccepted(sched.submit(blocker).verdict));
+    waitQueueDrained(sched); // blocker now occupies the worker
+
+    JobSpec low = simSpec("low");
+    low.priority = Priority::Low;
+    JobSpec norm = simSpec("norm");
+    ASSERT_TRUE(admissionAccepted(sched.submit(low).verdict));
+    ASSERT_TRUE(admissionAccepted(sched.submit(norm).verdict));
+
+    JobSpec high = simSpec("high");
+    high.priority = Priority::High;
+    const SubmitOutcome out = sched.submit(high);
+    EXPECT_EQ(out.verdict, AdmissionVerdict::AdmittedAfterShed);
+    EXPECT_EQ(out.shedJobId, "low");
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    const JobReport shed = reportFor(sched, "low");
+    EXPECT_EQ(shed.state, JobState::Shed);
+    EXPECT_EQ(shed.attempts, 0u);
+    EXPECT_EQ(reportFor(sched, "high").state, JobState::Completed);
+    EXPECT_EQ(reportFor(sched, "norm").state, JobState::Completed);
+    EXPECT_EQ(sched.stats().shed, 1u);
+}
+
+TEST(Scheduler, OverloadShrinksThreadGrantBeforeRejecting)
+{
+    SchedulerConfig cfg = fastConfig(1, 8);
+    cfg.shrinkWatermark = 0.25; // degrade once 2+ of 8 slots queue
+    Scheduler sched(cfg);
+    JobSpec blocker = simSpec("blocker");
+    blocker.chaos.hangMs = 100;
+    ASSERT_TRUE(admissionAccepted(sched.submit(blocker).verdict));
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(admissionAccepted(
+            sched.submit(simSpec("q" + std::to_string(i))).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    EXPECT_GT(sched.stats().degraded, 0u);
+    bool sawDegraded = false;
+    for (const JobReport &r : sched.reports()) {
+        EXPECT_EQ(r.state, JobState::Completed) << r.id;
+        sawDegraded = sawDegraded || r.grantedThreads == 1;
+    }
+    EXPECT_TRUE(sawDegraded);
+}
+
+TEST(Scheduler, ExplicitCancelQueuedAndRunning)
+{
+    Scheduler sched(fastConfig(1, 8));
+    JobSpec running = simSpec("running");
+    running.chaos.hangMs = 5000;
+    ASSERT_TRUE(admissionAccepted(sched.submit(running).verdict));
+    ASSERT_TRUE(
+        admissionAccepted(sched.submit(simSpec("queued")).verdict));
+
+    EXPECT_TRUE(sched.cancel("queued"));
+    EXPECT_TRUE(sched.cancel("running"));
+    EXPECT_FALSE(sched.cancel("nonexistent"));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    EXPECT_EQ(reportFor(sched, "queued").state, JobState::Cancelled);
+    EXPECT_EQ(reportFor(sched, "running").state,
+              JobState::Cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// Fair share and isolation
+// ---------------------------------------------------------------------------
+
+TEST(Scheduler, FairShareServesSecondTenantBeforeFirstsBacklog)
+{
+    Scheduler sched(fastConfig(1, 16));
+    JobSpec blocker = simSpec("blocker");
+    blocker.chaos.hangMs = 80;
+    ASSERT_TRUE(admissionAccepted(sched.submit(blocker).verdict));
+    for (int i = 0; i < 4; ++i) {
+        JobSpec s = simSpec("acme" + std::to_string(i));
+        s.tenant = "acme";
+        ASSERT_TRUE(admissionAccepted(sched.submit(s).verdict));
+    }
+    JobSpec late = simSpec("blue0");
+    late.tenant = "blue";
+    ASSERT_TRUE(admissionAccepted(sched.submit(late).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+
+    // Reports are completion order. blue0 arrived after acme's whole
+    // burst but must be served after at most one acme job.
+    const auto reports = sched.reports();
+    const auto pos = [&](const std::string &id) {
+        return static_cast<std::size_t>(
+            std::find_if(reports.begin(), reports.end(),
+                         [&](const JobReport &r) {
+                             return r.id == id;
+                         }) -
+            reports.begin());
+    };
+    EXPECT_LT(pos("blue0"), pos("acme1"));
+    EXPECT_LT(pos("acme0"), pos("blue0")); // FIFO kept for acme0
+}
+
+TEST(Scheduler, ServedResultsBitwiseMatchStandaloneRuns)
+{
+    // The isolation oracle: running under the server (concurrent
+    // tenants, retries, degraded thread grants) must not change a
+    // job's payload vs the same spec run standalone.
+    std::vector<JobSpec> specs;
+    JobSpec sim = simSpec("iso-sim", 12);
+    sim.seed = 101;
+    specs.push_back(sim);
+    JobSpec sweep;
+    sweep.id = "iso-sweep";
+    sweep.kind = JobKind::Sweep;
+    sweep.steps = 9;
+    sweep.seed = 202;
+    specs.push_back(sweep);
+    JobSpec flaky = simSpec("iso-flaky", 7);
+    flaky.seed = 303;
+    flaky.chaos.failAttempts = 1;
+    specs.push_back(flaky);
+    JobSpec train;
+    train.id = "iso-train";
+    train.kind = JobKind::Train;
+    train.steps = 8;
+    train.seed = 404;
+    specs.push_back(train);
+
+    SchedulerConfig cfg = fastConfig(3, 16);
+    cfg.shrinkWatermark = 0.1; // force degraded grants into the mix
+    Scheduler sched(cfg);
+    for (const JobSpec &s : specs)
+        ASSERT_TRUE(admissionAccepted(sched.submit(s).verdict));
+    ASSERT_TRUE(sched.waitIdle(60000));
+
+    for (const JobSpec &s : specs) {
+        const JobReport served = reportFor(sched, s.id);
+        ASSERT_EQ(served.state, JobState::Completed)
+            << s.id << ": " << served.detail;
+        const JobReport solo = runJobStandalone(s);
+        ASSERT_EQ(solo.state, JobState::Completed) << s.id;
+        EXPECT_EQ(served.resultCrc, solo.resultCrc) << s.id;
+        EXPECT_EQ(served.stepsRun, solo.stepsRun) << s.id;
+        EXPECT_EQ(served.finalLoss, solo.finalLoss) << s.id;
+    }
+}
+
+TEST(Scheduler, StatGroupExportsServeCounters)
+{
+    Scheduler sched(fastConfig(1, 4));
+    ASSERT_TRUE(
+        admissionAccepted(sched.submit(simSpec("one")).verdict));
+    ASSERT_TRUE(sched.waitIdle(30000));
+    const StatGroup g = sched.statGroup();
+    EXPECT_EQ(g.get("serve.submitted"), 1.0);
+    EXPECT_EQ(g.get("serve.accepted"), 1.0);
+    EXPECT_EQ(g.get("serve.completed"), 1.0);
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -106,6 +107,82 @@ TEST(ThreadPool, NestedCallsRunInline)
         }
     });
     EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, CallerWidthCapLimitsChunkFanOut)
+{
+    auto &pool = ThreadPool::instance();
+    pool.setNumThreads(8);
+    const auto countChunks = [] {
+        std::atomic<int> chunks{0};
+        parallelFor(0, 10000, 1,
+                    [&](std::size_t, std::size_t) { ++chunks; });
+        return chunks.load();
+    };
+    EXPECT_GT(countChunks(), 2); // uncapped: full fan-out
+    {
+        CallerWidthCapScope cap(2);
+        EXPECT_EQ(ThreadPool::callerWidthCap(), 2u);
+        EXPECT_LE(countChunks(), 2);
+    }
+    // RAII restore: the cap is gone once the scope closes.
+    EXPECT_EQ(ThreadPool::callerWidthCap(), 0u);
+    EXPECT_GT(countChunks(), 2);
+    pool.setNumThreads(0);
+}
+
+TEST(ThreadPool, CallerWidthCapOfOneRunsInlineOnCaller)
+{
+    auto &pool = ThreadPool::instance();
+    pool.setNumThreads(8);
+    CallerWidthCapScope cap(1);
+    const std::thread::id self = std::this_thread::get_id();
+    std::atomic<int> offThread{0};
+    parallelFor(0, 10000, 1, [&](std::size_t, std::size_t) {
+        if (std::this_thread::get_id() != self)
+            ++offThread;
+    });
+    // Degraded jobs must not touch the shared workers at all.
+    EXPECT_EQ(offThread.load(), 0);
+    pool.setNumThreads(0);
+}
+
+TEST(ThreadPool, CallerWidthCapScopesNestAndRestore)
+{
+    CallerWidthCapScope outer(4);
+    EXPECT_EQ(ThreadPool::callerWidthCap(), 4u);
+    {
+        CallerWidthCapScope inner(2);
+        EXPECT_EQ(ThreadPool::callerWidthCap(), 2u);
+    }
+    EXPECT_EQ(ThreadPool::callerWidthCap(), 4u);
+}
+
+TEST(Determinism, CappedWidthBitwiseMatchesUncapped)
+{
+    // The degradation story rests on this: shrinking a job's thread
+    // grant must not change its numbers.
+    Rng rng(99);
+    Tensor a({64, 96});
+    Tensor b({96, 64});
+    a.fillGaussian(rng, 0.0f, 1.0f);
+    b.fillGaussian(rng, 0.0f, 1.0f);
+    auto &pool = ThreadPool::instance();
+    pool.setNumThreads(8);
+    const Tensor full = matmul(a, b);
+    Tensor capped;
+    {
+        CallerWidthCapScope cap(2);
+        capped = matmul(a, b);
+    }
+    Tensor inline1;
+    {
+        CallerWidthCapScope cap(1);
+        inline1 = matmul(a, b);
+    }
+    pool.setNumThreads(0);
+    EXPECT_TRUE(full == capped);
+    EXPECT_TRUE(full == inline1);
 }
 
 TEST(ThreadPool, PropagatesExceptions)

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Chaos harness for the multi-tenant job server (src/serve/).
+ *
+ * Each trial boots a small Scheduler, fires a randomized burst of
+ * jobs at it — worker crashes, transient failures, hung jobs under
+ * tight deadlines, permanent failures, priority bursts from several
+ * tenants, and (on some trials) a mid-flight drain — then verifies
+ * the server's robustness contract:
+ *
+ *   1. **No lost jobs.** Every accepted job ends in exactly one
+ *      terminal report; the report id set equals the accepted id set.
+ *   2. **No hangs.** The trial completes within its watchdog budget
+ *      (a stuck scheduler fails the run, it does not wedge CI).
+ *   3. **Typed outcomes.** Completed reports carry no failure kind;
+ *      Failed reports carry one; attempts never exceed the budget.
+ *   4. **Isolation.** Completed jobs' result CRCs are bitwise
+ *      identical to the same spec run standalone (no queue, no
+ *      worker pool) — serving a job must not change its result.
+ *
+ * Every trial is a pure function of (--seed, trial index): a failure
+ * reproduces with the printed seed. Exit 0 = all trials clean.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/argparse.h"
+#include "common/fileutil.h"
+#include "common/rng.h"
+#include "serve/job_runner.h"
+#include "serve/scheduler.h"
+
+using namespace cq;
+using namespace cq::serve;
+
+namespace {
+
+constexpr const char *kProg = "cq_servetest";
+
+struct Options
+{
+    std::uint64_t trials = 20;
+    std::uint64_t seed = 17;
+    std::uint64_t jobs = 24;
+    unsigned workers = 3;
+    std::size_t queueCap = 8;
+    /** Standalone-identity re-runs per trial (completed jobs). */
+    std::uint64_t identityChecks = 3;
+    std::uint64_t watchdogMs = 60000;
+    std::string tmpDir;
+    bool verbose = false;
+};
+
+int gFailures = 0;
+
+#define CHECK(cond, ...)                                              \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            std::fprintf(stderr, "FAIL: " __VA_ARGS__);               \
+            std::fprintf(stderr, "\n");                               \
+            ++gFailures;                                              \
+        }                                                             \
+    } while (0)
+
+/** One randomized spec. Chaos knobs are drawn so that most jobs can
+ *  complete (the lost-job invariant is only interesting when jobs
+ *  survive retries) with a deliberate tail of hopeless ones. */
+JobSpec
+randomSpec(Rng &rng, const Options &opt, std::uint64_t trial,
+           std::uint64_t index)
+{
+    JobSpec spec;
+    spec.id = "t" + std::to_string(trial) + "-j" +
+              std::to_string(index);
+    static const char *kTenants[] = {"acme", "blue", "crab"};
+    spec.tenant = kTenants[rng.below(3)];
+    spec.priority = static_cast<Priority>(rng.below(3));
+    spec.seed = rng.next();
+    spec.maxRetries = 1 + static_cast<std::uint32_t>(rng.below(3));
+
+    const std::uint64_t kind = rng.below(10);
+    if (kind < 2) {
+        spec.kind = JobKind::Train;
+        spec.steps = 6 + rng.below(10);
+        if (rng.below(2) == 0)
+            spec.ckptDir = opt.tmpDir + "/" + spec.id;
+    } else if (kind < 6) {
+        spec.kind = JobKind::Sweep;
+        spec.steps = 4 + rng.below(24);
+    } else {
+        spec.kind = JobKind::Sim;
+        spec.steps = 4 + rng.below(40);
+    }
+
+    // Chaos mix: ~40% of jobs get some injection.
+    const std::uint64_t chaos = rng.below(10);
+    if (chaos == 0) {
+        spec.chaos.crashAttempts =
+            1 + static_cast<std::uint32_t>(rng.below(2));
+    } else if (chaos == 1 || chaos == 2) {
+        spec.chaos.failAttempts =
+            1 + static_cast<std::uint32_t>(rng.below(3));
+    } else if (chaos == 3) {
+        // Hung dependency under a deadline that cuts it short.
+        spec.chaos.hangMs =
+            40 + static_cast<std::uint32_t>(rng.below(40));
+        spec.deadlineMs =
+            5 + static_cast<std::uint32_t>(rng.below(20));
+    } else if (chaos == 4) {
+        spec.chaos.permanentFailure = true;
+    }
+    return spec;
+}
+
+/** True when, absent scheduling effects, this spec must complete. */
+bool
+mustComplete(const JobSpec &spec)
+{
+    if (spec.chaos.permanentFailure || spec.deadlineMs > 0)
+        return false;
+    const std::uint32_t burned =
+        spec.chaos.failAttempts + spec.chaos.crashAttempts;
+    return burned <= spec.maxRetries;
+}
+
+void
+runTrial(const Options &opt, std::uint64_t trial)
+{
+    Rng rng(opt.seed * 1000003 + trial);
+
+    SchedulerConfig cfg;
+    cfg.workers = opt.workers;
+    cfg.queue.capacity = opt.queueCap;
+    cfg.backoffBaseMs = 5;
+    cfg.backoffCapMs = 50;
+    cfg.backoffScale = 0.2;
+    cfg.jitterSeed = opt.seed;
+    Scheduler sched(cfg);
+
+    std::vector<JobSpec> accepted;
+    std::set<std::string> acceptedIds;
+    std::set<std::string> shedAtAdmission;
+    std::uint64_t rejected = 0;
+    for (std::uint64_t i = 0; i < opt.jobs; ++i) {
+        JobSpec spec = randomSpec(rng, opt, trial, i);
+        const SubmitOutcome out = sched.submit(spec);
+        if (admissionAccepted(out.verdict)) {
+            accepted.push_back(spec);
+            acceptedIds.insert(spec.id);
+            if (!out.shedJobId.empty())
+                shedAtAdmission.insert(out.shedJobId);
+        } else {
+            ++rejected;
+            CHECK(out.verdict == AdmissionVerdict::RejectedQueueFull,
+                  "trial %" PRIu64
+                  ": unexpected rejection %s for %s (%s)",
+                  trial, admissionVerdictName(out.verdict),
+                  spec.id.c_str(), out.reason.c_str());
+        }
+        // Bursty arrivals: occasionally let the queue breathe so
+        // trials exercise both full-queue and draining-queue paths.
+        if (rng.below(4) == 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(rng.below(3)));
+    }
+
+    const bool drainTrial = trial % 5 == 4;
+    if (drainTrial) {
+        // Race the drain against the burst so some jobs are still
+        // queued (cancelled) and some running (checkpoint + stop).
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(rng.below(8)));
+        sched.requestDrain();
+        const SubmitOutcome out = sched.submit(
+            randomSpec(rng, opt, trial, opt.jobs));
+        CHECK(out.verdict == AdmissionVerdict::RejectedShutdown,
+              "trial %" PRIu64
+              ": post-drain submit not rejected-shutdown (%s)",
+              trial, admissionVerdictName(out.verdict));
+    }
+
+    // 2: no hangs.
+    const bool idle =
+        sched.waitIdle(static_cast<std::uint32_t>(opt.watchdogMs));
+    CHECK(idle,
+          "trial %" PRIu64 ": scheduler not idle after %" PRIu64
+          " ms (hang)",
+          trial, opt.watchdogMs);
+    if (!idle)
+        return; // the destructor's drain is the best we can do
+
+    // 1: no lost jobs, no duplicate reports.
+    const std::vector<JobReport> reports = sched.reports();
+    std::set<std::string> reportIds;
+    for (const JobReport &r : reports)
+        CHECK(reportIds.insert(r.id).second,
+              "trial %" PRIu64 ": duplicate report for %s", trial,
+              r.id.c_str());
+    CHECK(reportIds == acceptedIds,
+          "trial %" PRIu64
+          ": report ids != accepted ids (%zu vs %zu)",
+          trial, reportIds.size(), acceptedIds.size());
+
+    // 3: typed outcomes.
+    for (const JobReport &r : reports) {
+        CHECK(r.state != JobState::Pending,
+              "trial %" PRIu64 ": %s reported Pending", trial,
+              r.id.c_str());
+        if (r.state == JobState::Completed)
+            CHECK(r.failure == FailureKind::None,
+                  "trial %" PRIu64 ": completed %s has failure %s",
+                  trial, r.id.c_str(), failureKindName(r.failure));
+        if (r.state == JobState::Failed)
+            CHECK(r.failure != FailureKind::None,
+                  "trial %" PRIu64 ": failed %s lacks a failure kind",
+                  trial, r.id.c_str());
+    }
+    std::uint64_t completed = 0;
+    for (const JobSpec &spec : accepted) {
+        const auto it = std::find_if(
+            reports.begin(), reports.end(),
+            [&](const JobReport &r) { return r.id == spec.id; });
+        if (it == reports.end())
+            continue; // already flagged above
+        const JobReport &r = *it;
+        CHECK(r.attempts <= 1 + spec.maxRetries,
+              "trial %" PRIu64 ": %s used %u attempts (budget %u)",
+              trial, spec.id.c_str(), r.attempts,
+              1 + spec.maxRetries);
+        if (r.state == JobState::Completed)
+            ++completed;
+        if (!drainTrial && mustComplete(spec) &&
+            shedAtAdmission.count(spec.id) == 0)
+            CHECK(r.state == JobState::Completed,
+                  "trial %" PRIu64
+                  ": %s should have completed, got %s (%s)",
+                  trial, spec.id.c_str(), jobStateName(r.state),
+                  r.detail.c_str());
+    }
+
+    // 4: isolation — serve result == standalone result, bitwise.
+    std::uint64_t checked = 0;
+    for (const JobReport &r : reports) {
+        if (checked >= opt.identityChecks)
+            break;
+        if (r.state != JobState::Completed)
+            continue;
+        const auto it = std::find_if(
+            accepted.begin(), accepted.end(),
+            [&](const JobSpec &s) { return s.id == r.id; });
+        if (it == accepted.end() || !it->ckptDir.empty())
+            continue; // fresh dirs only: reuse would resume-pollute
+        JobSpec solo = *it;
+        const JobReport ref = runJobStandalone(solo);
+        CHECK(ref.state == JobState::Completed,
+              "trial %" PRIu64 ": standalone %s not completed (%s)",
+              trial, solo.id.c_str(), jobStateName(ref.state));
+        CHECK(ref.resultCrc == r.resultCrc,
+              "trial %" PRIu64
+              ": %s crc differs serve=%08x standalone=%08x",
+              trial, solo.id.c_str(), r.resultCrc, ref.resultCrc);
+        CHECK(ref.stepsRun == r.stepsRun,
+              "trial %" PRIu64
+              ": %s steps differ serve=%" PRIu64
+              " standalone=%" PRIu64,
+              trial, solo.id.c_str(), r.stepsRun, ref.stepsRun);
+        ++checked;
+    }
+
+    const SchedulerStats s = sched.stats();
+    if (opt.verbose || gFailures > 0)
+        std::printf("trial %2" PRIu64 ": accepted %" PRIu64
+                    " rejected %" PRIu64 " completed %" PRIu64
+                    " failed %" PRIu64 " cancelled %" PRIu64
+                    " timed-out %" PRIu64 " shed %" PRIu64
+                    " retries %" PRIu64 " crashes %" PRIu64
+                    " degraded %" PRIu64 "%s\n",
+                    trial, s.accepted,
+                    s.rejectedFull + s.rejectedShutdown +
+                        s.rejectedInvalid,
+                    s.completed, s.failed, s.cancelled, s.timedOut,
+                    s.shed, s.retries, s.workerCrashes, s.degraded,
+                    drainTrial ? " (drained)" : "");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            return args::nextValue(kProg, argc, argv, i);
+        };
+        if (arg == "--trials")
+            opt.trials =
+                args::parseU64(kProg, arg, next(), 1, 100000);
+        else if (arg == "--seed")
+            opt.seed =
+                args::parseU64(kProg, arg, next(), 0, UINT64_MAX);
+        else if (arg == "--jobs")
+            opt.jobs = args::parseU64(kProg, arg, next(), 1, 100000);
+        else if (arg == "--workers")
+            opt.workers = static_cast<unsigned>(
+                args::parseU64(kProg, arg, next(), 1, 256));
+        else if (arg == "--queue-cap")
+            opt.queueCap = static_cast<std::size_t>(
+                args::parseU64(kProg, arg, next(), 1, 1u << 20));
+        else if (arg == "--identity-checks")
+            opt.identityChecks =
+                args::parseU64(kProg, arg, next(), 0, 1000);
+        else if (arg == "--watchdog-ms")
+            opt.watchdogMs =
+                args::parseU64(kProg, arg, next(), 1000, 3600000);
+        else if (arg == "--tmp")
+            opt.tmpDir = next();
+        else if (arg == "--verbose" || arg == "-v")
+            opt.verbose = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: cq_servetest [--trials N] [--seed S] "
+                "[--jobs N]\n"
+                "                    [--workers N] [--queue-cap N] "
+                "[--identity-checks N]\n"
+                "                    [--watchdog-ms MS] [--tmp DIR] "
+                "[--verbose]\n");
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "cq_servetest: unknown flag '%s' (see "
+                         "--help)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (opt.tmpDir.empty())
+        opt.tmpDir = "/tmp/cq_servetest." +
+                     std::to_string(static_cast<long>(::getpid()));
+    if (!ensureDir(opt.tmpDir)) {
+        std::fprintf(stderr, "cq_servetest: cannot create %s\n",
+                     opt.tmpDir.c_str());
+        return 2;
+    }
+
+    for (std::uint64_t t = 0; t < opt.trials; ++t)
+        runTrial(opt, t);
+
+    if (gFailures == 0) {
+        std::printf("cq_servetest: %" PRIu64
+                    " trials clean (no lost jobs, no hangs, "
+                    "identity holds)\n",
+                    opt.trials);
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "cq_servetest: %d failures over %" PRIu64
+                 " trials (seed %" PRIu64 ")\n",
+                 gFailures, opt.trials, opt.seed);
+    return 1;
+}

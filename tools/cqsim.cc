@@ -42,9 +42,11 @@
 #include "common/signal_flag.h"
 #include "compiler/codegen.h"
 #include "compiler/workloads.h"
+#include "common/json.h"
 #include "nn/guard/crash_harness.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/scheduler.h"
 
 using namespace cq;
 
@@ -70,6 +72,8 @@ printUsage(std::FILE *to)
         "             [--resume D] [--sync-ckpt] [--masters-out F]\n"
         "             [--ecc] [--abft] [--fault-rate R]\n"
         "             [--telemetry-out F] [--metrics-every N]\n"
+        "       cqsim --serve jobs.json [--serve-workers N]\n"
+        "             [--serve-queue-cap N] [--serve-report F]\n"
         "observability (all modes):\n"
         "             [--trace-out F] [--metrics-out F]\n");
 }
@@ -195,6 +199,209 @@ runTrain(const TrainArgs &a, const std::string &traceOut,
     return 0;
 }
 
+/** The --serve mode: run a job file through the multi-tenant
+ *  scheduler (src/serve/). SIGTERM/SIGINT drains gracefully — running
+ *  jobs stop at their next checkpoint-clean step boundary — and a
+ *  second signal exits immediately (common/signal_flag.cc). */
+struct ServeArgs
+{
+    std::string jobsPath;
+    std::uint64_t workers = 0;  // 0 = job-file / default
+    std::uint64_t queueCap = 0; // 0 = job-file / default
+    std::string reportOut;
+};
+
+bool
+parseServeJob(const json::Value &v, serve::JobSpec &spec,
+              std::string &err)
+{
+    if (!v.isObject()) {
+        err = "job entry is not an object";
+        return false;
+    }
+    spec.id = v.stringOr("id", "");
+    spec.tenant = v.stringOr("tenant", "default");
+    const std::string kind = v.stringOr("kind", "train");
+    if (kind == "train")
+        spec.kind = serve::JobKind::Train;
+    else if (kind == "sweep")
+        spec.kind = serve::JobKind::Sweep;
+    else if (kind == "sim")
+        spec.kind = serve::JobKind::Sim;
+    else {
+        err = "unknown kind '" + kind + "'";
+        return false;
+    }
+    const std::string prio = v.stringOr("priority", "normal");
+    if (prio == "low")
+        spec.priority = serve::Priority::Low;
+    else if (prio == "normal")
+        spec.priority = serve::Priority::Normal;
+    else if (prio == "high")
+        spec.priority = serve::Priority::High;
+    else {
+        err = "unknown priority '" + prio + "'";
+        return false;
+    }
+    spec.seed = static_cast<std::uint64_t>(v.numberOr("seed", 17));
+    spec.steps = static_cast<std::uint64_t>(v.numberOr("steps", 40));
+    spec.faultRate = v.numberOr("faultRate", 0.0);
+    spec.ckptDir = v.stringOr("ckptDir", "");
+    spec.deadlineMs =
+        static_cast<std::uint32_t>(v.numberOr("deadlineMs", 0));
+    spec.maxRetries =
+        static_cast<std::uint32_t>(v.numberOr("maxRetries", 2));
+    return true;
+}
+
+int
+runServe(const ServeArgs &a, const std::string &metricsOut)
+{
+    const json::ParseResult parsed = json::parseFile(a.jobsPath);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "cqsim: %s: %s (at byte %zu)\n",
+                     a.jobsPath.c_str(), parsed.error.c_str(),
+                     parsed.errorAt);
+        return 2;
+    }
+    const json::Value &root = parsed.value;
+    const json::Array *jobs = nullptr;
+    serve::SchedulerConfig cfg;
+    if (root.isArray()) {
+        jobs = &root.asArray();
+    } else if (root.isObject()) {
+        cfg.workers = static_cast<unsigned>(root.numberOr(
+            "workers", static_cast<double>(cfg.workers)));
+        cfg.queue.capacity = static_cast<std::size_t>(root.numberOr(
+            "queueCapacity",
+            static_cast<double>(cfg.queue.capacity)));
+        cfg.threadsPerJob = static_cast<unsigned>(root.numberOr(
+            "threadsPerJob", static_cast<double>(cfg.threadsPerJob)));
+        cfg.shrinkWatermark =
+            root.numberOr("shrinkWatermark", cfg.shrinkWatermark);
+        cfg.backoffBaseMs = static_cast<std::uint32_t>(root.numberOr(
+            "backoffBaseMs", static_cast<double>(cfg.backoffBaseMs)));
+        const json::Value *arr = root.find("jobs");
+        if (arr != nullptr && arr->isArray())
+            jobs = &arr->asArray();
+    }
+    if (jobs == nullptr) {
+        std::fprintf(stderr,
+                     "cqsim: %s: expected a job array or an object "
+                     "with a \"jobs\" array\n",
+                     a.jobsPath.c_str());
+        return 2;
+    }
+    if (a.workers > 0)
+        cfg.workers = static_cast<unsigned>(a.workers);
+    if (a.queueCap > 0)
+        cfg.queue.capacity = static_cast<std::size_t>(a.queueCap);
+
+    installShutdownSignalHandler();
+    serve::Scheduler sched(cfg);
+    std::printf("serve:     %zu jobs, %u workers, queue capacity "
+                "%zu\n",
+                jobs->size(), sched.config().workers,
+                sched.config().queue.capacity);
+
+    for (const json::Value &v : *jobs) {
+        serve::JobSpec spec;
+        std::string err;
+        if (!parseServeJob(v, spec, err)) {
+            std::fprintf(stderr, "cqsim: %s: %s\n", a.jobsPath.c_str(),
+                         err.c_str());
+            return 2;
+        }
+        const serve::SubmitOutcome out = sched.submit(spec);
+        std::printf("submit:    %-20s %-19s backpressure %s%s%s\n",
+                    spec.id.c_str(),
+                    serve::admissionVerdictName(out.verdict),
+                    serve::backpressureName(out.backpressure),
+                    out.shedJobId.empty() ? "" : ", shed ",
+                    out.shedJobId.c_str());
+        if (out.verdict == serve::AdmissionVerdict::RejectedInvalid)
+            std::printf("           (%s)\n", out.reason.c_str());
+    }
+
+    // Drain on the first SIGTERM/SIGINT; the handler escalates a
+    // second signal to an immediate exit on its own.
+    while (!sched.waitIdle(50)) {
+        if (shutdownRequested() && !sched.draining()) {
+            std::printf("serve:     shutdown signal - draining "
+                        "(running jobs stop at their next "
+                        "checkpoint)\n");
+            sched.requestDrain();
+        }
+    }
+
+    for (const serve::JobReport &r : sched.reports()) {
+        std::printf("job:       %-20s %-10s attempts %u, crc %08x, "
+                    "queue %.1f ms, run %.1f ms%s%s\n",
+                    r.id.c_str(), serve::jobStateName(r.state),
+                    r.attempts, r.resultCrc, r.queueMs, r.runMs,
+                    r.detail.empty() ? "" : " - ",
+                    r.detail.c_str());
+    }
+    const serve::SchedulerStats s = sched.stats();
+    std::printf("summary:   %llu submitted, %llu accepted, %llu "
+                "completed, %llu failed, %llu cancelled, %llu "
+                "timed-out, %llu shed, %llu rejected, %llu retries\n",
+                static_cast<unsigned long long>(s.submitted),
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.completed),
+                static_cast<unsigned long long>(s.failed),
+                static_cast<unsigned long long>(s.cancelled),
+                static_cast<unsigned long long>(s.timedOut),
+                static_cast<unsigned long long>(s.shed),
+                static_cast<unsigned long long>(
+                    s.rejectedFull + s.rejectedShutdown +
+                    s.rejectedInvalid),
+                static_cast<unsigned long long>(s.retries));
+
+    if (!a.reportOut.empty()) {
+        std::FILE *f = std::fopen(a.reportOut.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cqsim: cannot write %s\n",
+                         a.reportOut.c_str());
+            return 1;
+        }
+        std::fprintf(f, "[\n");
+        const auto reports = sched.reports();
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            const serve::JobReport &r = reports[i];
+            std::fprintf(
+                f,
+                "  {\"id\": \"%s\", \"tenant\": \"%s\", \"state\": "
+                "\"%s\", \"failure\": \"%s\", \"attempts\": %u, "
+                "\"retries\": %u, \"resultCrc\": %u, \"stepsRun\": "
+                "%llu, \"queueMs\": %.3f, \"runMs\": %.3f}%s\n",
+                r.id.c_str(), r.tenant.c_str(),
+                serve::jobStateName(r.state),
+                serve::failureKindName(r.failure), r.attempts,
+                r.retries, r.resultCrc,
+                static_cast<unsigned long long>(r.stepsRun),
+                r.queueMs, r.runMs,
+                i + 1 < reports.size() ? "," : "");
+        }
+        std::fprintf(f, "]\n");
+        std::fclose(f);
+    }
+    if (!metricsOut.empty()) {
+        const StatGroup g = sched.statGroup();
+        std::FILE *f = std::fopen(metricsOut.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cqsim: cannot write %s\n",
+                         metricsOut.c_str());
+            return 1;
+        }
+        const std::string text =
+            obs::MetricRegistry::instance().promText({&g});
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+    }
+    return s.failed == 0 ? 0 : 1;
+}
+
 compiler::WorkloadIR
 pickWorkload(const std::string &name, std::size_t batch)
 {
@@ -248,6 +455,7 @@ main(int argc, char **argv)
     bool stats = false, trace = false;
     std::string traceOut, metricsOut;
     TrainArgs train;
+    ServeArgs serveArgs;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -276,6 +484,14 @@ main(int argc, char **argv)
             trace = true;
         else if (arg == "--train")
             train.task = next();
+        else if (arg == "--serve")
+            serveArgs.jobsPath = next();
+        else if (arg == "--serve-workers")
+            serveArgs.workers = parseU64(arg, next(), 1, 256);
+        else if (arg == "--serve-queue-cap")
+            serveArgs.queueCap = parseU64(arg, next(), 1, 1u << 20);
+        else if (arg == "--serve-report")
+            serveArgs.reportOut = next();
         else if (arg == "--steps")
             train.steps = parseU64(arg, next(), 1, 1000000);
         else if (arg == "--seed")
@@ -318,15 +534,18 @@ main(int argc, char **argv)
     }
     const int modes = (network.empty() ? 0 : 1) +
                       (gemm.empty() ? 0 : 1) +
-                      (train.task.empty() ? 0 : 1);
+                      (train.task.empty() ? 0 : 1) +
+                      (serveArgs.jobsPath.empty() ? 0 : 1);
     if (modes != 1) {
         std::fprintf(stderr,
                      "cqsim: pick exactly one of --network / --gemm "
-                     "/ --train\n");
+                     "/ --train / --serve\n");
         return 2;
     }
     if (!train.task.empty())
         return runTrain(train, traceOut, metricsOut);
+    if (!serveArgs.jobsPath.empty())
+        return runServe(serveArgs, metricsOut);
 
     const compiler::WorkloadIR ir =
         gemm.empty() ? pickWorkload(network, batch)
