@@ -24,6 +24,7 @@ registerAll()
     registerAblationDesignSpace();
     registerFaultResilience();
     registerServeThroughput();
+    registerScaleoutAllreduce();
     registerKernels();
 }
 

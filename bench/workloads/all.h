@@ -24,6 +24,7 @@ void registerAblationInt4();
 void registerAblationDesignSpace();
 void registerFaultResilience();
 void registerServeThroughput();
+void registerScaleoutAllreduce();
 void registerKernels();
 
 } // namespace cq::bench::workloads

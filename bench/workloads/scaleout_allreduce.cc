@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Scale-out benchmark: N-chip data-parallel training over the modeled
+ * interconnect (src/dist/), with LDQ-quantized ring all-reduce. Three
+ * arms share one seed:
+ *
+ *   clean     — fault-free baseline: wire traffic, quantized-vs-fp32
+ *               wire ratio, simulated collective time per step.
+ *   crash     — one chip crashes mid-run; survivors rebalance the
+ *               global batch and must commit every remaining step.
+ *   straggler — one chip turns persistent straggler and is evicted
+ *               by the per-message collective deadline.
+ *
+ * The PERF-06 gate holds `steps_completed_frac == 1` across the two
+ * failure arms: an injected single-chip failure may cost retries and
+ * a rebalance, but never a committed step (DESIGN.md §8). Accuracy
+ * deltas between arms quantify the cost of losing a shard; all
+ * non-timing metrics are deterministic in the seed (simulated time
+ * included — the interconnect clock is modeled, not measured).
+ */
+
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "dist/dist_harness.h"
+#include "harness/workload.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+dist::DistHarnessResult
+runArm(const WorkloadContext &ctx, std::uint64_t steps,
+       std::size_t chips, const dist::ChipFaultPlan &plan)
+{
+    dist::DistHarnessConfig cfg;
+    cfg.seed = ctx.seed;
+    cfg.chips = chips;
+    cfg.steps = steps;
+    cfg.faults.assign(chips, {});
+    cfg.faults[chips - 1] = plan;
+    return dist::runDistHarness(cfg);
+}
+
+WorkloadResult
+run(const WorkloadContext &ctx)
+{
+    const std::size_t chips = 4;
+    const std::uint64_t steps = ctx.quick ? 40 : 150;
+    const std::uint64_t faultStep = steps / 3;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const dist::DistHarnessResult clean =
+        runArm(ctx, steps, chips, {});
+    const auto t1 = std::chrono::steady_clock::now();
+
+    dist::ChipFaultPlan crashPlan;
+    crashPlan.crashAtStep = faultStep;
+    const dist::DistHarnessResult crash =
+        runArm(ctx, steps, chips, crashPlan);
+
+    dist::ChipFaultPlan stragPlan;
+    stragPlan.stragglerFromStep = faultStep;
+    const dist::DistHarnessResult strag =
+        runArm(ctx, steps, chips, stragPlan);
+
+    WorkloadResult out;
+    out.set("chips", static_cast<double>(chips));
+    out.set("steps", static_cast<double>(steps));
+
+    // Clean arm: the wire-cost figures of merit.
+    const dist::DistTrainerResult &c = clean.train;
+    out.set("bytes_on_wire", static_cast<double>(c.bytesOnWire),
+            "B");
+    out.set("wire_ratio_fp32",
+            c.bytesOnWire > 0 ? static_cast<double>(c.fp32Bytes) /
+                                    static_cast<double>(c.bytesOnWire)
+                              : 0.0,
+            "x");
+    out.set("sim_us_per_step",
+            steps > 0 ? c.simUs / static_cast<double>(steps) : 0.0,
+            "us");
+    out.set("clean_accuracy", clean.accuracy * 100.0, "%");
+    out.set("replicas_identical",
+            c.replicasIdentical && crash.train.replicasIdentical &&
+                    strag.train.replicasIdentical
+                ? 1.0
+                : 0.0);
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.setTiming("steps_per_sec",
+                  wallMs > 0.0 ? 1000.0 * static_cast<double>(steps) /
+                                     wallMs
+                               : 0.0,
+                  "steps/s");
+
+    // Failure arms: a single-chip loss may cost retries and a
+    // rebalance, never a committed step (the PERF-06 invariant).
+    const std::uint64_t committed =
+        crash.train.stepsCompleted + strag.train.stepsCompleted;
+    out.set("steps_completed_frac",
+            static_cast<double>(committed) /
+                static_cast<double>(2 * steps),
+            "frac");
+    out.set("chip_failures",
+            static_cast<double>(crash.train.failures.size() +
+                                strag.train.failures.size()));
+    out.set("steps_retried",
+            static_cast<double>(crash.train.stepsRetried +
+                                strag.train.stepsRetried));
+    out.set("retransmits",
+            static_cast<double>(c.retransmits +
+                                crash.train.retransmits +
+                                strag.train.retransmits));
+    out.set("crash_accuracy_delta",
+            std::fabs(clean.accuracy - crash.accuracy) * 100.0, "%");
+    out.set("straggler_accuracy_delta",
+            std::fabs(clean.accuracy - strag.accuracy) * 100.0, "%");
+
+    out.notes = "4-chip ring all-reduce (LDQ-quantized hops); crash "
+                "and straggler arms lose chip 3 at step " +
+                std::to_string(faultStep) +
+                " and must still commit every step on survivors";
+    return out;
+}
+
+} // namespace
+
+void
+registerScaleoutAllreduce()
+{
+    Registry::instance().add(
+        {"scaleout_allreduce", "dist",
+         "N-chip data-parallel training over the modeled "
+         "interconnect: wire cost, and survivor continuity under "
+         "chip crash / straggler eviction",
+         "supplementary to Cambricon-Q, ISCA'21 (DESIGN.md §8)",
+         run});
+}
+
+} // namespace cq::bench::workloads

@@ -68,15 +68,19 @@ namespace {
 struct Parser
 {
     const std::string &text;
+    const ParseOptions &options;
     std::size_t pos = 0;
     std::string error;
     std::size_t errorAt = 0;
+    ParseErrorKind errorKind = ParseErrorKind::None;
 
-    bool fail(const std::string &why)
+    bool fail(const std::string &why,
+              ParseErrorKind kind = ParseErrorKind::Syntax)
     {
         if (error.empty()) {
             error = why;
             errorAt = pos;
+            errorKind = kind;
         }
         return false;
     }
@@ -100,16 +104,23 @@ struct Parser
 
     bool parseValue(Value &out, int depth)
     {
-        if (depth > 64)
-            return fail("nesting too deep");
         skipWs();
         if (pos >= text.size())
             return fail("unexpected end of input");
         const char c = text[pos];
-        if (c == '{')
-            return parseObject(out, depth);
-        if (c == '[')
-            return parseArray(out, depth);
+        if (c == '{' || c == '[') {
+            // A container at depth d means d containers are already
+            // open above it; refusing at the limit (rather than one
+            // past it) keeps even empty-container towers bounded, and
+            // with them the parser's recursion depth.
+            if (depth >= options.maxDepth)
+                return fail("nesting deeper than " +
+                                std::to_string(options.maxDepth) +
+                                " levels",
+                            ParseErrorKind::TooDeep);
+            return c == '{' ? parseObject(out, depth)
+                            : parseArray(out, depth);
+        }
         if (c == '"')
             return parseString(out);
         if (c == 't' || c == 'f')
@@ -345,20 +356,34 @@ struct Parser
 
 } // namespace
 
-ParseResult
-parse(const std::string &text)
+const char *
+parseErrorKindName(ParseErrorKind kind)
 {
-    Parser p{text, 0, {}, 0};
+    switch (kind) {
+      case ParseErrorKind::None:    return "none";
+      case ParseErrorKind::Syntax:  return "syntax";
+      case ParseErrorKind::TooDeep: return "tooDeep";
+      case ParseErrorKind::Io:      return "io";
+    }
+    return "?";
+}
+
+ParseResult
+parse(const std::string &text, const ParseOptions &options)
+{
+    Parser p{text, options, 0, {}, 0, ParseErrorKind::None};
     ParseResult r;
     if (!p.parseValue(r.value, 0)) {
         r.error = p.error;
         r.errorAt = p.errorAt;
+        r.errorKind = p.errorKind;
         return r;
     }
     p.skipWs();
     if (p.pos != text.size()) {
         r.error = "trailing characters after document";
         r.errorAt = p.pos;
+        r.errorKind = ParseErrorKind::Syntax;
         return r;
     }
     r.ok = true;
@@ -366,12 +391,13 @@ parse(const std::string &text)
 }
 
 ParseResult
-parseFile(const std::string &path)
+parseFile(const std::string &path, const ParseOptions &options)
 {
     ParseResult r;
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) {
         r.error = "cannot open '" + path + "'";
+        r.errorKind = ParseErrorKind::Io;
         return r;
     }
     std::string text;
@@ -383,9 +409,10 @@ parseFile(const std::string &path)
     std::fclose(f);
     if (!readOk) {
         r.error = "read error on '" + path + "'";
+        r.errorKind = ParseErrorKind::Io;
         return r;
     }
-    return parse(text);
+    return parse(text, options);
 }
 
 } // namespace cq::json

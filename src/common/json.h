@@ -84,19 +84,50 @@ class Value
     std::shared_ptr<Object> obj_;
 };
 
+/**
+ * Typed failure class, so callers can distinguish a malformed
+ * document from a resource-limit rejection (a deeply nested job file
+ * must fail as TooDeep, not blow the parser's stack) and from I/O
+ * trouble before any byte was parsed.
+ */
+enum class ParseErrorKind
+{
+    None,    ///< ok == true
+    Syntax,  ///< malformed JSON (bad token, trailing junk, ...)
+    TooDeep, ///< nesting exceeded ParseOptions::maxDepth
+    Io,      ///< parseFile could not open/read the file
+};
+
+const char *parseErrorKindName(ParseErrorKind kind);
+
+/** Knobs for parse(); defaults match the old behaviour. */
+struct ParseOptions
+{
+    /**
+     * Maximum container nesting depth. The parser recurses once per
+     * level, so this bounds stack use; 64 is far above anything the
+     * repo's writers emit while keeping worst-case recursion a few
+     * kilobytes of stack.
+     */
+    int maxDepth = 64;
+};
+
 struct ParseResult
 {
     bool ok = false;
     Value value;
     std::string error;      ///< one-line reason when !ok
     std::size_t errorAt = 0; ///< byte offset of the failure
+    ParseErrorKind errorKind = ParseErrorKind::None;
 };
 
 /** Parse a complete JSON document (trailing junk is an error). */
-ParseResult parse(const std::string &text);
+ParseResult parse(const std::string &text,
+                  const ParseOptions &options = {});
 
 /** Read @p path and parse it; I/O failure reports via error too. */
-ParseResult parseFile(const std::string &path);
+ParseResult parseFile(const std::string &path,
+                      const ParseOptions &options = {});
 
 } // namespace cq::json
 

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * N-chip data-parallel trainer over simulated Cambricon-Q chips.
+ *
+ * Each simulated chip runs a QuantTrainer replica (same network
+ * architecture, same initial weights) on a contiguous slice of a
+ * single global minibatch; gradients are exchanged through the
+ * LDQ-compressed ring all-reduce (collective.h) over the modeled
+ * interconnect (interconnect.h). Because the reduced gradient is
+ * bitwise identical on every chip, the replicas form a replicated
+ * state machine: masters, optimizer moments and step counters stay
+ * bitwise equal across chips, which is what makes failures cheap to
+ * recover (any survivor's state is *the* state) and elastic
+ * shrink/grow resume trivial (restore every new chip from the newest
+ * Ok snapshot of any old chip).
+ *
+ * The coordinator is a deterministic lock-step loop on the calling
+ * thread; chip-internal compute uses the deterministic thread pool,
+ * so a fixed chip count + seed trains bitwise identically at any
+ * CQ_THREADS setting (fixed reduction order; no real-time waits).
+ *
+ * Failure model (per-chip seeded plans):
+ *   crash     — misses its heartbeat at a step boundary; removed
+ *               before the step's work starts.
+ *   hang      — beats and computes, then goes silent mid-collective;
+ *               the retransmit budget classifies it.
+ *   straggler — delivers, but so slowly the collective deadline
+ *               trips; evicted like a hang.
+ * In every case the survivors abandon the in-flight step (undoing
+ * the begun step, back to the last globally consistent state),
+ * rebalance the same global batch across the remaining chips, and
+ * redo the step — no committed step is ever lost, which is the
+ * PERF-06 gate. Events land in dist.* metrics and the run report.
+ */
+
+#ifndef CQ_DIST_DIST_TRAINER_H
+#define CQ_DIST_DIST_TRAINER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/stats.h"
+#include "dist/collective.h"
+#include "dist/heartbeat.h"
+#include "dist/interconnect.h"
+#include "nn/datasets.h"
+#include "nn/network.h"
+#include "nn/quant_trainer.h"
+#include "tensor/tensor.h"
+
+namespace cq::dist {
+
+/** Seeded per-chip fault plan (0 = the fault never fires). */
+struct ChipFaultPlan
+{
+    /** Miss the heartbeat of this global step (die between steps). */
+    std::uint64_t crashAtStep = 0;
+    /** Compute this step, then go silent in its collective. */
+    std::uint64_t hangAtStep = 0;
+    /** From this step on, delay every send by stragglerDelayUs. */
+    std::uint64_t stragglerFromStep = 0;
+    double stragglerDelayUs = 1.0e6;
+};
+
+/** Coordinator configuration. */
+struct DistTrainerConfig
+{
+    /** Global minibatch size, sliced across the live chips. */
+    std::size_t globalBatch = 32;
+    /** Train until this many steps are globally committed. */
+    std::uint64_t steps = 60;
+    LinkConfig link;
+    CollectiveConfig collective;
+    /** Per-chip fault plans (indexed by chip id; may be shorter than
+     *  the chip count — missing entries mean no planned fault). */
+    std::vector<ChipFaultPlan> faults;
+    /**
+     * Checkpoint root (empty = no checkpointing). Chip i commits to
+     * "<root>/chip-0i" through its own generation store; every wave
+     * also publishes the multi-shard manifest (shard_manifest.h).
+     */
+    std::string ckptRoot;
+    /** Checkpoint wave every N committed steps (0 = never). */
+    std::uint64_t ckptEvery = 0;
+    /**
+     * Cooperative cancellation (not owned; may be nullptr). Polled at
+     * step boundaries by the coordinator and *inside* collective wait
+     * loops by the interconnect, so a deadline or drain fires
+     * mid-all-reduce. On cancel the coordinator writes a final
+     * checkpoint wave and returns with cancelled set.
+     */
+    CancelToken *cancel = nullptr;
+};
+
+/** What a run observed. */
+struct DistTrainerResult
+{
+    /** Globally committed steps (== cfg.steps unless cancelled). */
+    std::uint64_t stepsCompleted = 0;
+    std::size_t survivors = 0;
+    /** Failure events in classification order. */
+    std::vector<ChipFailureEvent> failures;
+    /** Steps that had to be retried after losing a chip. */
+    std::uint64_t stepsRetried = 0;
+    /** Shard rebalances (one per failure wave). */
+    std::uint64_t rebalances = 0;
+    double finalLoss = 0.0;
+    /** CRC-32 over chip 0's (well, the first survivor's) masters. */
+    std::uint32_t mastersCrc = 0;
+    /** True when every survivor's masters carry the same CRC — the
+     *  replicated-state-machine invariant. */
+    bool replicasIdentical = false;
+    /** Simulated interconnect time and traffic. */
+    double simUs = 0.0;
+    std::uint64_t bytesOnWire = 0;
+    /** FP32 bytes the wire format replaced (compression numerator). */
+    std::uint64_t fp32Bytes = 0;
+    unsigned retransmits = 0;
+    bool cancelled = false;
+    /** Elastic resume: what the scan found. */
+    bool resumed = false;
+    std::uint64_t resumedStep = 0;
+};
+
+/**
+ * The lock-step coordinator. The caller owns the chips (network +
+ * trainer pairs) and the shared global dataset; dist_harness.h is
+ * the canonical packaging of both.
+ */
+class DistTrainer
+{
+  public:
+    /** One simulated chip: a network and its trainer (not owned). */
+    struct Chip
+    {
+        nn::Network *net = nullptr;
+        nn::QuantTrainer *trainer = nullptr;
+    };
+
+    /**
+     * @p sampleBatch draws the *global* minibatch for a step — one
+     * draw per step regardless of chip count, which is what makes
+     * the data stream (and thus convergence) chip-count-invariant.
+     */
+    using BatchFn = std::function<nn::Batch(std::size_t batch)>;
+
+    DistTrainer(std::vector<Chip> chips, BatchFn sampleBatch,
+                DistTrainerConfig config);
+
+    /**
+     * Elastic resume: scan "<root>/chip-*" for the newest Ok
+     * generation across all shards of a previous run (any chip
+     * count — replicas are identical, so the single newest snapshot
+     * is the global state) and restore *every* current chip from it.
+     * Call before run(). Returns the restored global step (0 = cold
+     * start).
+     */
+    std::uint64_t resumeFrom(const std::string &root);
+
+    /** Train to config.steps (or cancellation / total chip loss). */
+    DistTrainerResult run();
+
+    /** dist.* counters of the run so far. */
+    const StatGroup &stats() const { return stats_; }
+    const Interconnect &interconnect() const { return net_; }
+
+  private:
+    /** Apply fault plans that fire at @p step (heartbeat window). */
+    void applyFaultPlans(std::uint64_t step);
+    /** Mark @p chip failed, with metrics + logging. */
+    void failChip(std::size_t chip, ChipFailure kind,
+                  std::uint64_t step);
+    /** One checkpoint wave across the live chips + shard manifest. */
+    void checkpointWave(std::uint64_t step);
+
+    std::vector<Chip> chips_;
+    BatchFn sampleBatch_;
+    DistTrainerConfig config_;
+    Interconnect net_;
+    HeartbeatLedger beats_;
+    StatGroup stats_;
+    std::uint64_t committed_ = 0;
+};
+
+/** "chip-03" — chip subdirectory name under the checkpoint root. */
+std::string chipDirName(std::size_t chip);
+
+} // namespace cq::dist
+
+#endif // CQ_DIST_DIST_TRAINER_H

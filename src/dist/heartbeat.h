@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-chip heartbeat ledger for the lock-step multi-chip trainer.
+ *
+ * Chips beat at every step boundary (in simulated time, recorded by
+ * the coordinator). A chip that misses its beat entirely is
+ * classified "crash" — it died between steps and never started the
+ * step's work. A chip that beats but whose collective messages then
+ * fail or blow the deadline is classified by the collective instead
+ * ("silent" for a mid-step hang, "straggler" for a slow chip); the
+ * ledger only records the verdict. The distinction matters for
+ * operators reading the failure log, not for recovery — both paths
+ * funnel into the same rebalance-and-retry.
+ */
+
+#ifndef CQ_DIST_HEARTBEAT_H
+#define CQ_DIST_HEARTBEAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cq::dist {
+
+/** Terminal failure classification of a chip. */
+enum class ChipFailure
+{
+    None,
+    /** Missed its step-boundary heartbeat: died between steps. */
+    Crash,
+    /** Beat, then went silent mid-collective (hang / dead link). */
+    Silent,
+    /** Beat, but messages persistently exceed the deadline. */
+    Straggler,
+};
+
+inline const char *
+chipFailureName(ChipFailure f)
+{
+    switch (f) {
+      case ChipFailure::None:      return "none";
+      case ChipFailure::Crash:     return "crash";
+      case ChipFailure::Silent:    return "silent";
+      case ChipFailure::Straggler: return "straggler";
+    }
+    return "?";
+}
+
+/** One failure event, for the run report. */
+struct ChipFailureEvent
+{
+    std::size_t chip = 0;
+    ChipFailure kind = ChipFailure::None;
+    /** Global step at which the failure was classified. */
+    std::uint64_t step = 0;
+};
+
+class HeartbeatLedger
+{
+  public:
+    explicit HeartbeatLedger(std::size_t chips)
+        : lastBeatStep_(chips, 0), failure_(chips, ChipFailure::None)
+    {
+    }
+
+    std::size_t chips() const { return lastBeatStep_.size(); }
+
+    /** Record chip @p chip's beat at the top of @p step. */
+    void beat(std::size_t chip, std::uint64_t step)
+    {
+        lastBeatStep_[chip] = step;
+    }
+
+    std::uint64_t lastBeat(std::size_t chip) const
+    {
+        return lastBeatStep_[chip];
+    }
+
+    /** Mark @p chip failed with @p kind at @p step (first verdict
+     *  latches; a chip never fails twice). */
+    void markFailed(std::size_t chip, ChipFailure kind,
+                    std::uint64_t step)
+    {
+        if (failure_[chip] != ChipFailure::None)
+            return;
+        failure_[chip] = kind;
+        events_.push_back(ChipFailureEvent{chip, kind, step});
+    }
+
+    bool failed(std::size_t chip) const
+    {
+        return failure_[chip] != ChipFailure::None;
+    }
+
+    ChipFailure failure(std::size_t chip) const
+    {
+        return failure_[chip];
+    }
+
+    const std::vector<ChipFailureEvent> &events() const
+    {
+        return events_;
+    }
+
+    /** Live chip ids in ascending order (the canonical ring order). */
+    std::vector<std::size_t> alive() const
+    {
+        std::vector<std::size_t> out;
+        for (std::size_t c = 0; c < failure_.size(); ++c)
+            if (failure_[c] == ChipFailure::None)
+                out.push_back(c);
+        return out;
+    }
+
+  private:
+    std::vector<std::uint64_t> lastBeatStep_;
+    std::vector<ChipFailure> failure_;
+    std::vector<ChipFailureEvent> events_;
+};
+
+} // namespace cq::dist
+
+#endif // CQ_DIST_HEARTBEAT_H

@@ -5,6 +5,7 @@
 
 #include "nn/guard/checkpoint.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
@@ -292,6 +293,8 @@ checkpointWriteResultName(CheckpointWriteResult result)
       case CheckpointWriteResult::RenameFailed:  return "rename failed";
       case CheckpointWriteResult::DirFsyncFailed:
         return "dir fsync failed";
+      case CheckpointWriteResult::DirMissing:
+        return "directory missing";
     }
     return "?";
 }
@@ -306,10 +309,14 @@ writeCheckpointEx(const std::string &path, const TrainerSnapshot &snap,
                   "snapshot group sizes differ: masters=%zu m=%zu v=%zu",
                   snap.masters.size(), snap.m.size(), snap.v.size());
     const std::string tmp = path + ".tmp";
+    errno = 0;
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr) {
-        warn("checkpoint: cannot open %s for writing", tmp.c_str());
-        return CheckpointWriteResult::OpenFailed;
+        const bool gone = errno == ENOENT;
+        warn("checkpoint: cannot open %s for writing%s", tmp.c_str(),
+             gone ? " (directory missing)" : "");
+        return gone ? CheckpointWriteResult::DirMissing
+                    : CheckpointWriteResult::OpenFailed;
     }
     CrcWriter w(f, options);
     bool ok;
@@ -344,11 +351,14 @@ writeCheckpointEx(const std::string &path, const TrainerSnapshot &snap,
         std::remove(tmp.c_str());
         return CheckpointWriteResult::WriteFailed;
     }
+    errno = 0;
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        warn("checkpoint: rename %s -> %s failed", tmp.c_str(),
-             path.c_str());
+        const bool gone = errno == ENOENT;
+        warn("checkpoint: rename %s -> %s failed%s", tmp.c_str(),
+             path.c_str(), gone ? " (directory missing)" : "");
         std::remove(tmp.c_str());
-        return CheckpointWriteResult::RenameFailed;
+        return gone ? CheckpointWriteResult::DirMissing
+                    : CheckpointWriteResult::RenameFailed;
     }
     if (options.durable && !fsyncParentDir(path)) {
         warn("checkpoint: directory fsync after committing %s failed",

@@ -81,6 +81,13 @@ enum class CheckpointWriteResult
     /** Renamed, but the parent-directory fsync failed: the new name
      *  may not survive a power loss (the data itself is synced). */
     DirFsyncFailed,
+    /**
+     * The destination directory vanished (ENOENT on temp create or
+     * rename) — e.g. an operator removed the checkpoint tree mid-run.
+     * Transient by design: the store recreates the directory and the
+     * async writer's retry budget covers the re-attempt.
+     */
+    DirMissing,
 };
 
 const char *checkpointWriteResultName(CheckpointWriteResult result);

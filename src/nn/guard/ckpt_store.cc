@@ -6,6 +6,7 @@
 #include "nn/guard/ckpt_store.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -27,20 +28,19 @@ constexpr char kManifestMagic[] = "CQMANIFEST01";
 /** Cap on manifest lines parsed, against a corrupted/garbage file. */
 constexpr std::size_t kMaxManifestEntries = 1 << 16;
 
-/**
- * Durable small-file write with the same temp/fsync/rename/dir-fsync
- * ladder as checkpoint bodies. Content goes out in small chunks so
- * the onWrite kill/slow hooks get byte-granular purchase on manifest
- * rewrites too (mid-prune kills are part of the verified surface).
- */
+} // namespace
+
 CheckpointWriteResult
-writeTextDurable(const std::string &path, const std::string &content,
-                 const CheckpointWriteOptions &options)
+writeTextFileDurable(const std::string &path,
+                     const std::string &content,
+                     const CheckpointWriteOptions &options)
 {
     const std::string tmp = path + ".tmp";
+    errno = 0;
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (f == nullptr)
-        return CheckpointWriteResult::OpenFailed;
+        return errno == ENOENT ? CheckpointWriteResult::DirMissing
+                               : CheckpointWriteResult::OpenFailed;
     constexpr std::size_t kChunk = 64;
     for (std::size_t off = 0; off < content.size(); off += kChunk) {
         const std::size_t len =
@@ -76,16 +76,17 @@ writeTextDurable(const std::string &path, const std::string &content,
         std::remove(tmp.c_str());
         return CheckpointWriteResult::WriteFailed;
     }
+    errno = 0;
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const bool gone = errno == ENOENT;
         std::remove(tmp.c_str());
-        return CheckpointWriteResult::RenameFailed;
+        return gone ? CheckpointWriteResult::DirMissing
+                    : CheckpointWriteResult::RenameFailed;
     }
     if (options.durable && !fsyncParentDir(path))
         return CheckpointWriteResult::DirFsyncFailed;
     return CheckpointWriteResult::Ok;
 }
-
-} // namespace
 
 // ------------------------------------------------------ CheckpointStore
 
@@ -242,8 +243,8 @@ CheckpointStore::writeManifest(const std::vector<ManifestEntry> &entries)
                       e.file.c_str(), e.crc, e.step);
         text += line;
     }
-    const auto res =
-        writeTextDurable(pathOf(kManifestName), text, config_.write);
+    const auto res = writeTextFileDurable(pathOf(kManifestName), text,
+                                          config_.write);
     if (res != CheckpointWriteResult::Ok) {
         warn("ckpt-store: manifest rewrite in %s failed (%s)",
              config_.dir.c_str(), checkpointWriteResultName(res));
@@ -335,9 +336,15 @@ CheckpointStore::commit(const TrainerSnapshot &snap)
     commits.inc();
     obs::ScopedLatencyTimer latencyTimer(latency);
     if (!ensureDir(config_.dir)) {
-        warn("ckpt-store: cannot create directory %s",
-             config_.dir.c_str());
-        return CheckpointWriteResult::OpenFailed;
+        // mkdir ENOENT means the *parent* tree vanished too — typed
+        // as DirMissing so the async writer's retry budget treats it
+        // as transient (an operator may restore the tree) instead of
+        // an unclassified open failure.
+        const bool gone = errno == ENOENT;
+        warn("ckpt-store: cannot create directory %s%s",
+             config_.dir.c_str(), gone ? " (parent missing)" : "");
+        return gone ? CheckpointWriteResult::DirMissing
+                    : CheckpointWriteResult::OpenFailed;
     }
     std::vector<ManifestEntry> entries = currentEntries(nullptr);
     // Never reuse a generation number: count orphans from an earlier
@@ -351,8 +358,22 @@ CheckpointStore::commit(const TrainerSnapshot &snap)
     e.gen = gen;
     e.file = generationFileName(gen);
     e.step = snap.step;
-    const auto wres = writeCheckpointEx(pathOf(e.file), snap,
-                                        config_.write, &e.crc);
+    auto wres = writeCheckpointEx(pathOf(e.file), snap, config_.write,
+                                  &e.crc);
+    if (wres == CheckpointWriteResult::DirMissing) {
+        // The directory was removed between ensureDir above and the
+        // temp-file create (checkpoint tree deleted mid-run). Recreate
+        // and go again once; if the tree keeps vanishing the typed
+        // DirMissing surfaces and the async writer's budget decides.
+        static obs::Counter &recreated =
+            obs::MetricRegistry::instance().counter(
+                "ckpt.dir_recreated");
+        if (ensureDir(config_.dir)) {
+            recreated.inc();
+            wres = writeCheckpointEx(pathOf(e.file), snap,
+                                     config_.write, &e.crc);
+        }
+    }
     if (wres != CheckpointWriteResult::Ok)
         return wres;
     entries.push_back(std::move(e));

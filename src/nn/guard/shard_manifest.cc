@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Implementation of the multi-shard checkpoint manifest.
+ */
+
+#include "nn/guard/shard_manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "nn/guard/ckpt_store.h"
+
+namespace cq::nn::guard {
+
+namespace {
+
+constexpr char kMagic[] = "CQSHARDS01";
+
+/** Cap on shard lines parsed, against a corrupted/garbage file. */
+constexpr std::size_t kMaxShardEntries = 1 << 12;
+
+} // namespace
+
+std::string
+shardManifestPath(const std::string &rootDir)
+{
+    return rootDir + "/dist.manifest";
+}
+
+CheckpointWriteResult
+writeShardManifest(const std::string &rootDir,
+                   const ShardManifest &manifest,
+                   const CheckpointWriteOptions &options)
+{
+    std::string body = kMagic;
+    body += '\n';
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "wave %zu %" PRIu64 "\n", manifest.chipCount,
+                  manifest.step);
+    body += line;
+    for (const ShardEntry &e : manifest.entries) {
+        std::snprintf(line, sizeof(line),
+                      "shard %zu %s %" PRIu64 " %" PRIu64 "\n", e.chip,
+                      e.dir.c_str(), e.gen, e.step);
+        body += line;
+    }
+    // Trailer CRC over everything above it: readers verify before
+    // trusting any field.
+    std::snprintf(line, sizeof(line), "crc %08x\n",
+                  crc32(body.data(), body.size()));
+    body += line;
+    return writeTextFileDurable(shardManifestPath(rootDir), body,
+                                options);
+}
+
+bool
+readShardManifest(const std::string &rootDir, ShardManifest &out)
+{
+    out = ShardManifest();
+    std::FILE *f =
+        std::fopen(shardManifestPath(rootDir).c_str(), "r");
+    if (f == nullptr)
+        return false;
+    std::string body;       // bytes covered by the trailer CRC
+    bool sawMagic = false;
+    bool sawWave = false;
+    bool sawCrc = false;
+    bool ok = true;
+    char line[512];
+    while (ok && std::fgets(line, sizeof(line), f) != nullptr) {
+        const std::size_t len = std::strlen(line);
+        if (len == 0 || line[len - 1] != '\n') {
+            ok = false; // truncated final line
+            break;
+        }
+        if (sawCrc) {
+            ok = false; // junk after the trailer
+            break;
+        }
+        unsigned crc = 0;
+        if (std::sscanf(line, "crc %8x", &crc) == 1) {
+            sawCrc = true;
+            ok = sawMagic && sawWave &&
+                 crc == crc32(body.data(), body.size());
+            continue;
+        }
+        body.append(line, len);
+        line[len - 1] = '\0';
+        if (!sawMagic) {
+            ok = std::strcmp(line, kMagic) == 0;
+            sawMagic = true;
+            continue;
+        }
+        unsigned long long a = 0, b = 0;
+        char dir[256];
+        std::size_t chip = 0;
+        if (std::sscanf(line, "wave %zu %llu", &chip, &a) == 2 &&
+            !sawWave) {
+            out.chipCount = chip;
+            out.step = a;
+            sawWave = true;
+            continue;
+        }
+        if (std::sscanf(line, "shard %zu %255s %llu %llu", &chip, dir,
+                        &a, &b) == 4 &&
+            sawWave && out.entries.size() < kMaxShardEntries) {
+            ShardEntry e;
+            e.chip = chip;
+            e.dir = dir;
+            e.gen = a;
+            e.step = b;
+            out.entries.push_back(std::move(e));
+            continue;
+        }
+        ok = false;
+    }
+    std::fclose(f);
+    if (!ok || !sawCrc) {
+        out = ShardManifest();
+        return false;
+    }
+    return true;
+}
+
+} // namespace cq::nn::guard

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-shard checkpoint manifest for distributed training runs.
+ *
+ * A DistTrainer checkpoints N per-chip generation stores (one
+ * CheckpointStore under "<root>/chip-00", "<root>/chip-01", ...) and
+ * then publishes one small text manifest ("dist.manifest") at the
+ * root recording the wave: chip count, global step, and the per-chip
+ * generation each store committed. The manifest is written with the
+ * same durable temp/fsync/rename ladder as everything else in guard/
+ * and carries a CRC-32 over its body, so a torn or damaged file is
+ * detected and ignored — a resume then degrades to scanning the
+ * chip-* stores directly (every snapshot is self-contained), rather
+ * than refusing to start.
+ *
+ * The manifest is advisory metadata for operators and tests; the
+ * correctness of elastic shrink/grow resume does not depend on it.
+ */
+
+#ifndef CQ_NN_GUARD_SHARD_MANIFEST_H
+#define CQ_NN_GUARD_SHARD_MANIFEST_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/guard/checkpoint.h"
+
+namespace cq::nn::guard {
+
+/** One chip's contribution to a checkpoint wave. */
+struct ShardEntry
+{
+    /** Chip index at the time of the wave (dense, 0-based over the
+     *  chips alive at the wave). */
+    std::size_t chip = 0;
+    /** Store directory name relative to the manifest's root
+     *  ("chip-03"). */
+    std::string dir;
+    /** Generation the chip's store committed in this wave. */
+    std::uint64_t gen = 0;
+    /** Trainer step of that generation's snapshot. */
+    std::uint64_t step = 0;
+};
+
+/** A committed checkpoint wave across all live shards. */
+struct ShardManifest
+{
+    /** Chips alive when the wave was written. */
+    std::size_t chipCount = 0;
+    /** Global step of the wave (all entries agree in a clean wave). */
+    std::uint64_t step = 0;
+    std::vector<ShardEntry> entries;
+};
+
+/** "dist.manifest" under the distributed checkpoint root. */
+std::string shardManifestPath(const std::string &rootDir);
+
+/**
+ * Durable write of @p manifest under @p rootDir. Returns the first
+ * failing stage of the write ladder (DirMissing when the root
+ * vanished — transient, like CheckpointStore commits).
+ */
+CheckpointWriteResult writeShardManifest(const std::string &rootDir,
+                                         const ShardManifest &manifest,
+                                         const CheckpointWriteOptions
+                                             &options = {});
+
+/**
+ * Read and verify the manifest at @p rootDir. False when missing,
+ * torn, or failing its CRC; @p out is cleared in that case and the
+ * caller falls back to scanning chip-* stores.
+ */
+bool readShardManifest(const std::string &rootDir, ShardManifest &out);
+
+} // namespace cq::nn::guard
+
+#endif // CQ_NN_GUARD_SHARD_MANIFEST_H

@@ -733,11 +733,39 @@ double
 QuantTrainer::stepClassification(const Tensor &inputs,
                                  const std::vector<int> &labels)
 {
+    return commitStep(forwardBackwardClassification(inputs, labels));
+}
+
+double
+QuantTrainer::forwardBackwardClassification(
+    const Tensor &inputs, const std::vector<int> &labels)
+{
     beginStep();
     const Tensor logits = forwardQuantized(inputs);
     const double loss = lossHead_.loss(logits, labels);
     backwardQuantized(lossHead_.grad());
+    return loss;
+}
+
+double
+QuantTrainer::commitStep(double loss)
+{
     return finishStep(loss);
+}
+
+void
+QuantTrainer::abandonStep()
+{
+    // The step began (beginStep ran: counter bumped, compute copies
+    // quantized, gradients accumulated) but will not be committed.
+    // Put the FP32 masters back into the network, drop the gradients,
+    // and roll the counter back so the redo sees the same step id.
+    restoreMasterWeights();
+    network_.zeroGrads();
+    CQ_ASSERT_MSG(step_ > 0, "abandonStep without a begun step");
+    --step_;
+    stepHealthy_ = true;
+    lastStepDiscarded_ = false;
 }
 
 double

@@ -17,6 +17,8 @@ jobKindName(JobKind kind)
         return "sweep";
     case JobKind::Sim:
         return "sim";
+    case JobKind::TrainDist:
+        return "train_dist";
     }
     return "?";
 }
@@ -109,7 +111,7 @@ validateJobSpec(const JobSpec &spec)
     if (spec.tenant.empty())
         return "tenant must be non-empty";
     if (spec.kind != JobKind::Train && spec.kind != JobKind::Sweep &&
-        spec.kind != JobKind::Sim)
+        spec.kind != JobKind::Sim && spec.kind != JobKind::TrainDist)
         return "unknown job kind";
     const int prio = static_cast<int>(spec.priority);
     if (prio < static_cast<int>(Priority::Low) ||
@@ -121,9 +123,18 @@ validateJobSpec(const JobSpec &spec)
         return "steps above the 1e6 service limit";
     if (spec.faultRate < 0.0 || spec.faultRate != spec.faultRate)
         return "fault rate must be finite and non-negative";
-    if (spec.kind != JobKind::Train &&
-        (!spec.ckptDir.empty() || spec.faultRate > 0.0))
-        return "ckptDir/faultRate only apply to train jobs";
+    const bool trains = spec.kind == JobKind::Train ||
+                        spec.kind == JobKind::TrainDist;
+    if (!trains && (!spec.ckptDir.empty() || spec.faultRate > 0.0))
+        return "ckptDir/faultRate only apply to training jobs";
+    if (spec.kind == JobKind::TrainDist) {
+        if (spec.chips < 2 || spec.chips > 32)
+            return "chips must be in [2, 32]";
+        if (spec.chipFailStep != 0 && spec.stragglerStep != 0)
+            return "chipFailStep and stragglerStep are exclusive";
+    } else if (spec.chipFailStep != 0 || spec.stragglerStep != 0) {
+        return "chipFailStep/stragglerStep only apply to train_dist";
+    }
     return "";
 }
 

@@ -36,6 +36,9 @@ enum class JobKind
     Sweep,
     /** Deterministic GEMM simulation batch over seeded operands. */
     Sim,
+    /** N-chip data-parallel training over the simulated interconnect
+     *  (src/dist), with optional seeded chip-failure injection. */
+    TrainDist,
 };
 
 const char *jobKindName(JobKind kind);
@@ -88,8 +91,18 @@ struct JobSpec
      *  drives the divergence-and-rollback resilience path. */
     double faultRate = 0.0;
     /** Train only: per-job generation-store directory (empty = no
-     *  checkpointing; cancellation then stops without a snapshot). */
+     *  checkpointing; cancellation then stops without a snapshot).
+     *  TrainDist: the multi-shard checkpoint root. */
     std::string ckptDir;
+
+    /** TrainDist only: simulated chip count (2..32). */
+    std::size_t chips = 4;
+    /** TrainDist only: crash the highest-numbered chip at this global
+     *  step (0 = no planned crash); survivors must finish. */
+    std::uint64_t chipFailStep = 0;
+    /** TrainDist only: the highest-numbered chip turns persistent
+     *  straggler from this step (0 = none); it must be evicted. */
+    std::uint64_t stragglerStep = 0;
 
     /**
      * Wall-clock budget from admission, enforced cooperatively at

@@ -13,6 +13,7 @@
 
 #include "common/crc32.h"
 #include "common/rng.h"
+#include "dist/dist_harness.h"
 #include "nn/guard/crash_harness.h"
 #include "quant/policy.h"
 #include "tensor/tensor.h"
@@ -81,6 +82,62 @@ runTrain(const JobSpec &spec, CancelToken *token)
         out.failure = FailureKind::Diverged;
         out.detail = "training diverged to a non-finite loss";
         return out;
+    }
+    out.ok = true;
+    return out;
+}
+
+AttemptOutcome
+runTrainDist(const JobSpec &spec, CancelToken *token)
+{
+    AttemptOutcome out;
+    dist::DistHarnessConfig cfg;
+    cfg.seed = spec.seed;
+    cfg.chips = spec.chips;
+    cfg.steps = spec.steps;
+    cfg.ckptRoot = spec.ckptDir;
+    cfg.ckptEvery = spec.ckptDir.empty() ? 0 : 10;
+    cfg.cancel = token;
+    // For the distributed kind the faultRate knob models wire noise
+    // (flips/Mbit on collective payloads) instead of DRAM rot; the
+    // CRC + retransmit layer must absorb it or evict the sender.
+    cfg.link.corruptFlipsPerMbit = spec.faultRate;
+    if (spec.chipFailStep != 0 || spec.stragglerStep != 0) {
+        cfg.faults.resize(spec.chips);
+        cfg.faults[spec.chips - 1].crashAtStep = spec.chipFailStep;
+        cfg.faults[spec.chips - 1].stragglerFromStep =
+            spec.stragglerStep;
+    }
+
+    dist::DistHarnessResult res;
+    try {
+        res = dist::runDistHarness(cfg);
+    } catch (const std::exception &e) {
+        out.failure = FailureKind::CheckpointIo;
+        out.detail = e.what();
+        return out;
+    }
+    out.stepsRun = res.train.stepsCompleted;
+    out.finalLoss = res.train.finalLoss;
+    out.resultCrc = res.train.mastersCrc;
+    if (res.train.cancelled) {
+        out.cancelled = true;
+        out.detail = "cancelled at step boundary";
+        return out;
+    }
+    if (res.train.survivors == 0) {
+        out.failure = FailureKind::Transient;
+        out.detail = "all chips failed before completion";
+        return out;
+    }
+    if (!std::isfinite(res.train.finalLoss)) {
+        out.failure = FailureKind::Diverged;
+        out.detail = "training diverged to a non-finite loss";
+        return out;
+    }
+    if (!res.train.failures.empty()) {
+        out.detail = std::to_string(res.train.failures.size()) +
+                     " chip(s) failed; survivors completed";
     }
     out.ok = true;
     return out;
@@ -188,6 +245,8 @@ runJobAttempt(const JobSpec &spec, CancelToken *token,
         return runSweep(spec, token);
     case JobKind::Sim:
         return runSim(spec, token);
+    case JobKind::TrainDist:
+        return runTrainDist(spec, token);
     }
     AttemptOutcome out;
     out.failure = FailureKind::Permanent;

@@ -1,7 +1,8 @@
 /**
  * @file
  * Tests for the common support library: RNG determinism and
- * distributions, stats registry semantics.
+ * distributions, stats registry semantics, and the JSON parser's
+ * typed error classes (notably the nesting-depth resource limit).
  */
 
 #include <gtest/gtest.h>
@@ -9,6 +10,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -159,6 +161,57 @@ TEST(StatGroup, DumpContainsNames)
     const std::string dump = stats.dump("header");
     EXPECT_NE(dump.find("header"), std::string::npos);
     EXPECT_NE(dump.find("alpha"), std::string::npos);
+}
+
+// -------------------------------------------------------------- json
+
+TEST(JsonDepth, DeeplyNestedInputFailsTypedNotByStackOverflow)
+{
+    // ~100k-deep nesting: without the depth limit this would recurse
+    // once per level and smash the stack. The limit must convert it
+    // into a typed TooDeep error instead.
+    const std::size_t kDepth = 100000;
+    std::string text(kDepth, '[');
+    text.append(kDepth, ']');
+    const json::ParseResult r = json::parse(text);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.errorKind, json::ParseErrorKind::TooDeep);
+    EXPECT_NE(r.error.find("nesting"), std::string::npos);
+}
+
+TEST(JsonDepth, LimitIsConfigurableAndExact)
+{
+    const auto nested = [](int depth) {
+        std::string t(static_cast<std::size_t>(depth), '[');
+        t.append(static_cast<std::size_t>(depth), ']');
+        return t;
+    };
+    json::ParseOptions opt;
+    opt.maxDepth = 8;
+    EXPECT_TRUE(json::parse(nested(8), opt).ok);
+    const json::ParseResult deep = json::parse(nested(9), opt);
+    EXPECT_FALSE(deep.ok);
+    EXPECT_EQ(deep.errorKind, json::ParseErrorKind::TooDeep);
+    // Objects count the same as arrays.
+    json::ParseOptions one;
+    one.maxDepth = 1;
+    EXPECT_TRUE(json::parse("{\"a\": 1}", one).ok);
+    EXPECT_FALSE(json::parse("{\"a\": [1]}", one).ok);
+}
+
+TEST(JsonDepth, ErrorKindsDistinguishSyntaxIoAndDepth)
+{
+    EXPECT_EQ(json::parse("{oops").errorKind,
+              json::ParseErrorKind::Syntax);
+    EXPECT_EQ(json::parse("[1] trailing").errorKind,
+              json::ParseErrorKind::Syntax);
+    EXPECT_EQ(json::parseFile("/nonexistent/never.json").errorKind,
+              json::ParseErrorKind::Io);
+    const json::ParseResult ok = json::parse("[1, 2]");
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(ok.errorKind, json::ParseErrorKind::None);
+    EXPECT_STREQ(json::parseErrorKindName(json::ParseErrorKind::TooDeep),
+                 "tooDeep");
 }
 
 } // namespace

@@ -15,13 +15,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <sys/wait.h>
 #include <unistd.h>
 #include <vector>
@@ -312,10 +315,11 @@ TEST(TornWrite, SeededBitFlipsAlwaysDetected)
 
 TEST(TornWrite, WriteResultDistinguishesFailureStages)
 {
-    // OpenFailed: unwritable directory.
+    // DirMissing: the destination directory vanished (typed so the
+    // async writer's retry budget treats it as transient).
     EXPECT_EQ(nn::guard::writeCheckpointEx(
                   "/nonexistent-dir/x.bin", makeSnap(1)),
-              CheckpointWriteResult::OpenFailed);
+              CheckpointWriteResult::DirMissing);
     // A throwing hook aborts the write, removes the temp file, and
     // propagates (the async writer relies on that).
     const std::string dir = freshDir("torn_stages");
@@ -722,6 +726,123 @@ TEST(CrashResume, SecondShutdownSignalExitsImmediately)
         },
         ::testing::ExitedWithCode(128 + SIGINT),
         "exiting immediately");
+}
+
+// ------------------------------------------- vanished directories
+
+/** rm -rf for the flat store layout the tests create. */
+void
+removeTree(const std::string &dir)
+{
+    for (const std::string &f : listDir(dir))
+        std::remove((dir + "/" + f).c_str());
+    ::rmdir(dir.c_str());
+}
+
+TEST(DirMissing, StoreDirRemovedBetweenCommitsIsRecreated)
+{
+    // Someone rm -rf'd the checkpoint tree between two commits. The
+    // next commit's leading ensureDir restores it transparently.
+    CheckpointStoreConfig cfg;
+    cfg.dir = freshDir("dirmiss_recreate");
+    CheckpointStore store(cfg);
+    ASSERT_EQ(store.commit(makeSnap(1)), CheckpointWriteResult::Ok);
+    removeTree(cfg.dir);
+    EXPECT_EQ(store.commit(makeSnap(2)), CheckpointWriteResult::Ok);
+    TrainerSnapshot snap;
+    EXPECT_EQ(store.loadLatest(snap).result, CheckpointLoadResult::Ok);
+    EXPECT_EQ(snap.step, 2u);
+}
+
+TEST(DirMissing, StoreDirRemovedMidCommitIsRecreatedAndRetried)
+{
+    // Nastier: the tree vanishes *during* the commit (after the
+    // leading ensureDir, while the snapshot body is streaming out).
+    // The rename fails ENOENT, writeCheckpointEx types it DirMissing,
+    // and commit() recreates the directory and retries in place — the
+    // commit still lands, observable via ckpt.dir_recreated.
+    CheckpointStoreConfig cfg;
+    cfg.dir = freshDir("dirmiss_midcommit");
+    auto nuked = std::make_shared<bool>(false);
+    const std::string dir = cfg.dir;
+    cfg.write.onWrite = [nuked, dir](std::size_t) {
+        if (*nuked)
+            return;
+        *nuked = true;
+        for (const std::string &f : listDir(dir))
+            std::remove((dir + "/" + f).c_str());
+        ::rmdir(dir.c_str());
+    };
+    CheckpointStore store(cfg);
+    const double before = obs::MetricRegistry::instance()
+                              .counter("ckpt.dir_recreated")
+                              .value();
+    EXPECT_EQ(store.commit(makeSnap(2)), CheckpointWriteResult::Ok);
+    EXPECT_GE(obs::MetricRegistry::instance()
+                      .counter("ckpt.dir_recreated")
+                      .value() -
+                  before,
+              1.0);
+    TrainerSnapshot snap;
+    EXPECT_EQ(store.loadLatest(snap).result, CheckpointLoadResult::Ok);
+    EXPECT_EQ(snap.step, 2u);
+}
+
+TEST(DirMissing, MissingParentSurfacesTypedResultAfterRetryBudget)
+{
+    // The whole parent tree is gone; single-level mkdir cannot help.
+    // The async writer must spend its retry budget and then record
+    // the typed DirMissing result — never throw, never mislabel it
+    // as a generic open failure.
+    CheckpointStoreConfig cfg;
+    cfg.dir = ::testing::TempDir() + "dirmiss_noparent/store";
+    removeTree(::testing::TempDir() + "dirmiss_noparent");
+    CheckpointStore store(cfg);
+    AsyncCheckpointWriter::RetryPolicy retry;
+    retry.maxRetries = 2;
+    retry.backoffBaseMicros = 0;
+    AsyncCheckpointWriter writer(store, retry);
+    writer.submit(makeSnap(3));
+    EXPECT_EQ(writer.drain(), CheckpointWriteResult::DirMissing);
+    EXPECT_EQ(writer.committed(), 0u);
+    EXPECT_EQ(writer.retried(), 2u);
+}
+
+TEST(DirMissing, ParentRestoredMidRetryRecoversWithinBudget)
+{
+    // ENOENT as a *transient* failure: the parent reappears while the
+    // writer is still inside its retry budget (an operator restoring
+    // a mount, say). The drain must come back Ok with retries > 0.
+    const std::string parent = ::testing::TempDir() + "dirmiss_flaky";
+    CheckpointStoreConfig cfg;
+    cfg.dir = parent + "/store";
+    removeTree(cfg.dir);
+    removeTree(parent);
+    CheckpointStore store(cfg);
+    AsyncCheckpointWriter::RetryPolicy retry;
+    retry.maxRetries = 5;
+    retry.backoffBaseMicros = 20000;
+    auto &retriesMetric =
+        obs::MetricRegistry::instance().counter("ckpt.write_retries");
+    const double retriesBefore = retriesMetric.value();
+    AsyncCheckpointWriter writer(store, retry);
+    writer.submit(makeSnap(4));
+    // Wait for the first failed attempt to enter retry (observable
+    // via the retries metric), then restore the parent; at least four
+    // budgeted attempts remain to pick it up.
+    for (int spin = 0; spin < 4000; ++spin) {
+        if (retriesMetric.value() > retriesBefore)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GT(retriesMetric.value(), retriesBefore);
+    ASSERT_TRUE(ensureDir(parent));
+    ASSERT_EQ(writer.drain(), CheckpointWriteResult::Ok);
+    EXPECT_EQ(writer.committed(), 1u);
+    EXPECT_GE(writer.retried(), 1u);
+    TrainerSnapshot snap;
+    EXPECT_EQ(store.loadLatest(snap).result, CheckpointLoadResult::Ok);
+    EXPECT_EQ(snap.step, 4u);
 }
 
 } // namespace

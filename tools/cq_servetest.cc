@@ -56,6 +56,10 @@ struct Options
     std::uint64_t watchdogMs = 60000;
     std::string tmpDir;
     bool verbose = false;
+    /** Replay exactly one trial index (-1 = run them all). Together
+     *  with --seed this reproduces a single failed trial without
+     *  re-running the whole sweep. */
+    std::int64_t onlyTrial = -1;
 };
 
 int gFailures = 0;
@@ -323,6 +327,9 @@ main(int argc, char **argv)
                 args::parseU64(kProg, arg, next(), 1000, 3600000);
         else if (arg == "--tmp")
             opt.tmpDir = next();
+        else if (arg == "--trial")
+            opt.onlyTrial = static_cast<std::int64_t>(
+                args::parseU64(kProg, arg, next(), 0, 100000));
         else if (arg == "--verbose" || arg == "-v")
             opt.verbose = true;
         else if (arg == "--help" || arg == "-h") {
@@ -332,7 +339,9 @@ main(int argc, char **argv)
                 "                    [--workers N] [--queue-cap N] "
                 "[--identity-checks N]\n"
                 "                    [--watchdog-ms MS] [--tmp DIR] "
-                "[--verbose]\n");
+                "[--verbose]\n"
+                "                    [--trial T]   (replay one "
+                "trial index)\n");
             return 0;
         } else {
             std::fprintf(stderr,
@@ -351,19 +360,38 @@ main(int argc, char **argv)
         return 2;
     }
 
-    for (std::uint64_t t = 0; t < opt.trials; ++t)
+    std::uint64_t ranTrials = 0;
+    for (std::uint64_t t = 0; t < opt.trials; ++t) {
+        if (opt.onlyTrial >= 0 &&
+            t != static_cast<std::uint64_t>(opt.onlyTrial))
+            continue;
+        const int before = gFailures;
         runTrial(opt, t);
+        ++ranTrials;
+        if (gFailures > before)
+            // Every trial is a pure function of (seed, trial): print
+            // enough to replay exactly this one, alone.
+            std::fprintf(stderr,
+                         "REPLAY: trial %" PRIu64
+                         " failed (trial rng seed %" PRIu64
+                         "); reproduce with: cq_servetest --seed "
+                         "%" PRIu64 " --trial %" PRIu64
+                         " --jobs %" PRIu64
+                         " --workers %u --queue-cap %zu\n",
+                         t, opt.seed * 1000003 + t, opt.seed, t,
+                         opt.jobs, opt.workers, opt.queueCap);
+    }
 
     if (gFailures == 0) {
         std::printf("cq_servetest: %" PRIu64
                     " trials clean (no lost jobs, no hangs, "
                     "identity holds)\n",
-                    opt.trials);
+                    ranTrials);
         return 0;
     }
     std::fprintf(stderr,
                  "cq_servetest: %d failures over %" PRIu64
                  " trials (seed %" PRIu64 ")\n",
-                 gFailures, opt.trials, opt.seed);
+                 gFailures, ranTrials, opt.seed);
     return 1;
 }

@@ -10,7 +10,12 @@
  * A third mode actually trains: --train spiral runs the quantized
  * spiral-MLP workload under the crash-consistent generation store,
  * with elastic resume (--resume) and clean SIGTERM/SIGINT shutdown
- * (final synchronous checkpoint, then exit 0).
+ * (final synchronous checkpoint, then exit 0). Adding --chips N
+ * (N >= 2) switches the same task to the N-chip data-parallel
+ * trainer (src/dist): LDQ-quantized ring all-reduce over the modeled
+ * interconnect, with optional planned faults --chip-fail C@S
+ * (chip C crashes at step S) and --straggler C@S (chip C turns
+ * persistent straggler from step S); survivors rebalance and finish.
  *
  * Usage:
  *   cqsim --network resnet18 [--target cq|cq-nondp|cq-t|cq-v|tpu]
@@ -43,6 +48,7 @@
 #include "compiler/codegen.h"
 #include "compiler/workloads.h"
 #include "common/json.h"
+#include "dist/dist_harness.h"
 #include "nn/guard/crash_harness.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -72,6 +78,8 @@ printUsage(std::FILE *to)
         "             [--resume D] [--sync-ckpt] [--masters-out F]\n"
         "             [--ecc] [--abft] [--fault-rate R]\n"
         "             [--telemetry-out F] [--metrics-every N]\n"
+        "             [--chips N] [--chip-fail C@S] "
+        "[--straggler C@S]\n"
         "       cqsim --serve jobs.json [--serve-workers N]\n"
         "             [--serve-queue-cap N] [--serve-report F]\n"
         "observability (all modes):\n"
@@ -111,7 +119,135 @@ struct TrainArgs
     double faultRate = 0.0;
     std::string telemetryOut;
     std::uint64_t metricsEvery = 0;
+
+    // Distributed leg (--chips >= 2 routes to src/dist).
+    std::uint64_t chips = 1;
+    std::string chipFail;  // "C@S": chip C crashes at step S
+    std::string straggler; // "C@S": chip C straggles from step S
 };
+
+/** Parse a "C@S" planned-fault spec (chip index @ global step). */
+bool
+parseChipAtStep(const std::string &flag, const std::string &text,
+                std::size_t chips, std::size_t &chip,
+                std::uint64_t &step)
+{
+    unsigned long long c = 0, s = 0;
+    char tail = '\0';
+    if (std::sscanf(text.c_str(), "%llu@%llu%c", &c, &s, &tail) != 2 ||
+        s == 0) {
+        std::fprintf(stderr,
+                     "cqsim: bad %s spec '%s' (want CHIP@STEP with "
+                     "STEP >= 1)\n",
+                     flag.c_str(), text.c_str());
+        return false;
+    }
+    if (c >= chips) {
+        std::fprintf(stderr,
+                     "cqsim: %s chip %llu out of range (have %zu "
+                     "chips)\n",
+                     flag.c_str(), c, chips);
+        return false;
+    }
+    chip = static_cast<std::size_t>(c);
+    step = s;
+    return true;
+}
+
+/** The --train ... --chips N leg: N-chip data-parallel training with
+ *  LDQ-quantized ring all-reduce and optional planned chip faults. */
+int
+runTrainDist(const TrainArgs &a)
+{
+    dist::DistHarnessConfig cfg;
+    cfg.seed = a.seed;
+    cfg.chips = static_cast<std::size_t>(a.chips);
+    cfg.steps = a.steps;
+    cfg.link.corruptFlipsPerMbit = a.faultRate;
+    cfg.ckptRoot = a.ckptDir.empty() ? a.resumeDir : a.ckptDir;
+    cfg.ckptEvery = a.ckptDir.empty() ? 0 : a.ckptEvery;
+    cfg.resume = !a.resumeDir.empty();
+    cfg.resumeRoot = a.resumeDir;
+
+    cfg.faults.resize(cfg.chips);
+    if (!a.chipFail.empty()) {
+        std::size_t chip = 0;
+        std::uint64_t step = 0;
+        if (!parseChipAtStep("--chip-fail", a.chipFail, cfg.chips,
+                             chip, step))
+            return 2;
+        cfg.faults[chip].crashAtStep = step;
+    }
+    if (!a.straggler.empty()) {
+        std::size_t chip = 0;
+        std::uint64_t step = 0;
+        if (!parseChipAtStep("--straggler", a.straggler, cfg.chips,
+                             chip, step))
+            return 2;
+        cfg.faults[chip].stragglerFromStep = step;
+    }
+
+    std::printf("dist:      spiral MLP on %llu chips, steps %llu, "
+                "seed %llu\n",
+                static_cast<unsigned long long>(a.chips),
+                static_cast<unsigned long long>(a.steps),
+                static_cast<unsigned long long>(a.seed));
+    if (!cfg.ckptRoot.empty()) {
+        if (cfg.ckptEvery > 0)
+            std::printf("ckpt:      root %s, wave every %llu steps\n",
+                        cfg.ckptRoot.c_str(),
+                        static_cast<unsigned long long>(
+                            cfg.ckptEvery));
+        else
+            std::printf("ckpt:      root %s, final wave only\n",
+                        cfg.ckptRoot.c_str());
+    }
+
+    const dist::DistHarnessResult r = dist::runDistHarness(cfg);
+    const dist::DistTrainerResult &t = r.train;
+
+    if (cfg.resume) {
+        if (t.resumed)
+            std::printf("resume:    global step %llu restored onto "
+                        "%llu chips\n",
+                        static_cast<unsigned long long>(t.resumedStep),
+                        static_cast<unsigned long long>(a.chips));
+        else
+            std::printf("resume:    cold start (no usable shard "
+                        "snapshot in %s)\n",
+                        a.resumeDir.c_str());
+    }
+    for (const dist::ChipFailureEvent &ev : t.failures)
+        std::printf("failure:   chip %zu %s at step %llu (survivors "
+                    "rebalanced)\n",
+                    ev.chip, dist::chipFailureName(ev.kind),
+                    static_cast<unsigned long long>(ev.step));
+    std::printf("result:    %llu/%llu steps committed, %zu/%llu "
+                "chips survived, final loss %.6f, masters crc %08x "
+                "(%s)\n",
+                static_cast<unsigned long long>(t.stepsCompleted),
+                static_cast<unsigned long long>(a.steps),
+                t.survivors,
+                static_cast<unsigned long long>(a.chips), t.finalLoss,
+                t.mastersCrc,
+                t.replicasIdentical ? "replicas identical"
+                                    : "REPLICA DIVERGENCE");
+    std::printf("wire:      %llu bytes on wire (fp32 would be %llu, "
+                "%.2fx), %llu retransmits, %.1f ms simulated\n",
+                static_cast<unsigned long long>(t.bytesOnWire),
+                static_cast<unsigned long long>(t.fp32Bytes),
+                t.bytesOnWire > 0
+                    ? static_cast<double>(t.fp32Bytes) /
+                          static_cast<double>(t.bytesOnWire)
+                    : 0.0,
+                static_cast<unsigned long long>(t.retransmits),
+                t.simUs / 1000.0);
+    std::printf("accuracy:  %.4f on the held-out spiral set\n",
+                r.accuracy);
+    if (!t.replicasIdentical)
+        return 1;
+    return t.survivors > 0 ? 0 : 1;
+}
 
 int
 runTrain(const TrainArgs &a, const std::string &traceOut,
@@ -122,6 +258,13 @@ runTrain(const TrainArgs &a, const std::string &traceOut,
                      "cqsim: unknown --train task '%s' (supported: "
                      "spiral)\n",
                      a.task.c_str());
+        return 2;
+    }
+    if (a.chips >= 2)
+        return runTrainDist(a);
+    if (!a.chipFail.empty() || !a.straggler.empty()) {
+        std::fprintf(stderr, "cqsim: --chip-fail/--straggler need "
+                             "--chips >= 2\n");
         return 2;
     }
     if (a.ckptDir.empty() && a.resumeDir.empty() &&
@@ -228,6 +371,8 @@ parseServeJob(const json::Value &v, serve::JobSpec &spec,
         spec.kind = serve::JobKind::Sweep;
     else if (kind == "sim")
         spec.kind = serve::JobKind::Sim;
+    else if (kind == "train_dist")
+        spec.kind = serve::JobKind::TrainDist;
     else {
         err = "unknown kind '" + kind + "'";
         return false;
@@ -251,6 +396,11 @@ parseServeJob(const json::Value &v, serve::JobSpec &spec,
         static_cast<std::uint32_t>(v.numberOr("deadlineMs", 0));
     spec.maxRetries =
         static_cast<std::uint32_t>(v.numberOr("maxRetries", 2));
+    spec.chips = static_cast<std::size_t>(v.numberOr("chips", 4));
+    spec.chipFailStep =
+        static_cast<std::uint64_t>(v.numberOr("chipFailStep", 0));
+    spec.stragglerStep =
+        static_cast<std::uint64_t>(v.numberOr("stragglerStep", 0));
     return true;
 }
 
@@ -522,6 +672,12 @@ main(int argc, char **argv)
             train.telemetryOut = next();
         else if (arg == "--metrics-every")
             train.metricsEvery = parseU64(arg, next(), 1, 1000000);
+        else if (arg == "--chips")
+            train.chips = parseU64(arg, next(), 1, 32);
+        else if (arg == "--chip-fail")
+            train.chipFail = next();
+        else if (arg == "--straggler")
+            train.straggler = next();
         else if (arg == "--help" || arg == "-h") {
             printUsage(stdout);
             return 0;
