@@ -7,6 +7,7 @@
 #include <system_error>
 #include <unistd.h>
 
+#include "common/fileutil.h"
 #include "common/threadpool.h"
 #include "obs/jsonw.h"
 
@@ -238,15 +239,18 @@ writeBenchJsonFiles(const std::vector<RunRecord> &records,
             (outDir.empty() ? std::string(".") : outDir) + "/BENCH_" +
             area + ".json";
         const std::string doc = toBenchJson(records, prov, area);
-        std::FILE *f = std::fopen(path.c_str(), "w");
+        std::FILE *f = io::fopenFp("bench.json.open", path, "w");
         if (f == nullptr) {
             err = "cannot write '" + path + "'";
             return written;
         }
-        const bool ok =
-            std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-        std::fclose(f);
-        if (!ok) {
+        const bool ok = io::fwriteFp("bench.json.write", doc.data(),
+                                     doc.size(), f) == doc.size();
+        // fclose flushes the stdio buffer — a failure here means the
+        // trajectory point never reached disk and must be reported.
+        const bool closed = io::fcloseFp("bench.json.close", f) == 0;
+        if (!ok || !closed) {
+            std::remove(path.c_str());
             err = "short write on '" + path + "'";
             return written;
         }

@@ -15,6 +15,7 @@
 #define CQ_COMMON_FILEUTIL_H
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,17 @@ bool ensureDir(const std::string &dir);
 std::vector<std::string> listDir(const std::string &dir);
 
 /**
+ * Errno-aware directory listing: listDir() conflates "empty" with
+ * "unreadable", which made the checkpoint scan treat an EACCES/EIO
+ * directory as a cold start. Returns true with the names (possibly
+ * none) on success; false with @p errnoOut set on failure, so callers
+ * can route "unreadable" onto a typed retry path instead of silently
+ * starting over. Honors the "fs.listdir" failpoint.
+ */
+bool listDirEx(const std::string &dir, std::vector<std::string> &out,
+               int *errnoOut = nullptr);
+
+/**
  * CRC-32 (zlib polynomial, common/crc32.h) over the whole file.
  * Returns false when the file cannot be read; @p out is the checksum
  * on success.
@@ -53,6 +65,54 @@ bool crc32OfFile(const std::string &path, std::uint32_t &out);
 
 /** Size of the file in bytes, or -1 on error. */
 long long fileSize(const std::string &path);
+
+/**
+ * Failpoint-aware stdio/POSIX wrappers — the injectable I/O seam.
+ *
+ * Every persistence and sink write in the repository (checkpoint
+ * bodies, manifests, telemetry/trace/metrics outputs, serve reports,
+ * bench trajectories) goes through these instead of raw stdio, each
+ * call naming the failpoint site that guards it. With nothing armed
+ * they forward straight to the real call; an armed site makes the
+ * wrapper fail exactly as the kernel would (errno set, short count,
+ * nullptr), so the caller's error handling is exercised against the
+ * same surface a real ENOSPC/EIO presents.
+ */
+namespace io {
+
+/** fopen, or nullptr with errno on an armed failure. */
+std::FILE *fopenFp(const std::string &site, const std::string &path,
+                   const char *mode);
+
+/** fwrite; an armed short-write accepts a prefix then sets errno. */
+std::size_t fwriteFp(const std::string &site, const void *data,
+                     std::size_t len, std::FILE *f);
+
+/** fread, or 0 with errno on an armed failure. */
+std::size_t freadFp(const std::string &site, void *data,
+                    std::size_t len, std::FILE *f);
+
+/** fflush (0 on success, EOF + errno on failure). */
+int fflushFp(const std::string &site, std::FILE *f);
+
+/**
+ * fclose. On an armed failure the underlying FILE is still closed
+ * (never leak the descriptor), then EOF is returned with errno — the
+ * "close reported the deferred write error" case.
+ */
+int fcloseFp(const std::string &site, std::FILE *f);
+
+/** rename (0 on success, -1 + errno on failure). */
+int renameFp(const std::string &site, const std::string &from,
+             const std::string &to);
+
+/** fsyncFd with an armed-failure override. */
+bool fsyncFdFp(const std::string &site, int fd);
+
+/** fsyncPath with an armed-failure override. */
+bool fsyncPathFp(const std::string &site, const std::string &path);
+
+} // namespace io
 
 } // namespace cq
 

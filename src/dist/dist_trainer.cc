@@ -218,10 +218,23 @@ DistTrainer::checkpointWave(std::uint64_t step)
     manifest.chipCount = alive.size();
     for (std::size_t c : alive) {
         if (!chips_[c].trainer->checkpointNow()) {
-            warn("dist: chip %zu checkpoint failed at step %llu", c,
-                 static_cast<unsigned long long>(step));
+            warn("dist: chip %zu checkpoint failed at step %llu "
+                 "(streak %u)",
+                 c, static_cast<unsigned long long>(step),
+                 chips_[c].ckptFailStreak + 1);
+            // A chip whose shard commits keep failing has lost its
+            // local storage: evict it through the normal rebalance
+            // path so the wave regains durability on the survivors.
+            // Never evict the last chip — a cluster with no healthy
+            // disk degrades to training without checkpoints instead
+            // of not training at all.
+            if (++chips_[c].ckptFailStreak >= kMaxCkptFailures &&
+                beats_.alive().size() > 1) {
+                failChip(c, ChipFailure::Storage, step);
+            }
             continue;
         }
+        chips_[c].ckptFailStreak = 0;
         nn::guard::ShardEntry e;
         e.chip = c;
         e.dir = chipDirName(c);

@@ -139,7 +139,15 @@ class DistTrainer
     {
         nn::Network *net = nullptr;
         nn::QuantTrainer *trainer = nullptr;
+        /** Consecutive checkpoint-wave failures (storage health).
+         *  Reset on every successful shard commit; reaching
+         *  kMaxCkptFailures evicts the chip as ChipFailure::Storage
+         *  unless it is the last one alive. */
+        unsigned ckptFailStreak = 0;
     };
+
+    /** Consecutive failed shard checkpoints before a Storage evict. */
+    static constexpr unsigned kMaxCkptFailures = 2;
 
     /**
      * @p sampleBatch draws the *global* minibatch for a step — one

@@ -33,6 +33,9 @@ enum class ChipFailure
     Silent,
     /** Beat, but messages persistently exceed the deadline. */
     Straggler,
+    /** Computes fine, but its shard checkpoints keep failing (bad
+     *  local disk): evicted so the wave regains durability. */
+    Storage,
 };
 
 inline const char *
@@ -43,6 +46,7 @@ chipFailureName(ChipFailure f)
       case ChipFailure::Crash:     return "crash";
       case ChipFailure::Silent:    return "silent";
       case ChipFailure::Straggler: return "straggler";
+      case ChipFailure::Storage:   return "storage";
     }
     return "?";
 }

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/crc32.h"
+#include "common/failpoint.h"
 #include "common/fileutil.h"
 #include "common/logging.h"
 
@@ -32,7 +33,8 @@ class CrcWriter
 {
   public:
     CrcWriter(std::FILE *f, const CheckpointWriteOptions &options)
-        : f_(f), options_(options)
+        : f_(f), options_(options),
+          writeSite_(options.failpointPrefix + ".write")
     {
     }
 
@@ -67,7 +69,7 @@ class CrcWriter
     bool
     rawWrite(const void *data, std::size_t len)
     {
-        if (std::fwrite(data, 1, len, f_) != len)
+        if (io::fwriteFp(writeSite_, data, len, f_) != len)
             return false;
         fileCrc_ = crc32(data, len, fileCrc_);
         if (options_.slowWriteMicros > 0)
@@ -79,6 +81,7 @@ class CrcWriter
 
     std::FILE *f_;
     const CheckpointWriteOptions &options_;
+    std::string writeSite_;
     std::uint32_t crc_ = 0;
     std::uint32_t fileCrc_ = 0;
 };
@@ -112,7 +115,7 @@ class CrcReader
     bool
     read(void *data, std::size_t len)
     {
-        if (std::fread(data, 1, len, f_) != len)
+        if (io::freadFp("ckpt.read.read", data, len, f_) != len)
             return false;
         crc_ = crc32(data, len, crc_);
         return true;
@@ -137,8 +140,8 @@ class CrcReader
     checkCrcDetail()
     {
         std::uint32_t stored;
-        if (std::fread(&stored, 1, sizeof(stored), f_) !=
-            sizeof(stored)) {
+        if (io::freadFp("ckpt.read.read", &stored, sizeof(stored),
+                        f_) != sizeof(stored)) {
             return CrcCheck::Truncated;
         }
         const bool ok = stored == crc_;
@@ -217,6 +220,13 @@ readTensor(CrcReader &r, Tensor &out)
     // the inevitable CRC failure.
     if (numel * sizeof(float) > r.remaining())
         return TensorReadError::Truncated;
+    // Allocation-failure injection point: a reader that cannot obtain
+    // the payload buffer must classify the load as corrupt (and fall
+    // back to an older generation), never die on bad_alloc.
+    if (const auto fpo = CQ_FAILPOINT("ckpt.read.alloc")) {
+        if (fpo.kind != fp::ActionKind::Delay)
+            return TensorReadError::BadHeader;
+    }
     Tensor t(shape);
     if (t.numel() > kMaxNumel)
         return TensorReadError::BadHeader;
@@ -295,6 +305,8 @@ checkpointWriteResultName(CheckpointWriteResult result)
         return "dir fsync failed";
       case CheckpointWriteResult::DirMissing:
         return "directory missing";
+      case CheckpointWriteResult::NoSpace:
+        return "no space";
     }
     return "?";
 }
@@ -309,8 +321,9 @@ writeCheckpointEx(const std::string &path, const TrainerSnapshot &snap,
                   "snapshot group sizes differ: masters=%zu m=%zu v=%zu",
                   snap.masters.size(), snap.m.size(), snap.v.size());
     const std::string tmp = path + ".tmp";
+    const std::string &fpPrefix = options.failpointPrefix;
     errno = 0;
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    std::FILE *f = io::fopenFp(fpPrefix + ".open", tmp, "wb");
     if (f == nullptr) {
         const bool gone = errno == ENOENT;
         warn("checkpoint: cannot open %s for writing%s", tmp.c_str(),
@@ -320,6 +333,7 @@ writeCheckpointEx(const std::string &path, const TrainerSnapshot &snap,
     }
     CrcWriter w(f, options);
     bool ok;
+    errno = 0;
     try {
         ok = writeBody(w, snap);
     } catch (...) {
@@ -329,38 +343,52 @@ writeCheckpointEx(const std::string &path, const TrainerSnapshot &snap,
         std::remove(tmp.c_str());
         throw;
     }
-    ok = ok && std::fflush(f) == 0;
+    ok = ok && io::fflushFp(fpPrefix + ".write", f) == 0;
     if (!ok) {
-        warn("checkpoint: write to %s failed", tmp.c_str());
+        const bool full = errno == ENOSPC;
+        warn("checkpoint: write to %s failed%s", tmp.c_str(),
+             full ? " (no space)" : "");
         std::fclose(f);
         std::remove(tmp.c_str());
-        return CheckpointWriteResult::WriteFailed;
+        return full ? CheckpointWriteResult::NoSpace
+                    : CheckpointWriteResult::WriteFailed;
     }
     // Durability order matters: file bytes must be on stable storage
     // *before* the rename makes them the committed snapshot, and the
     // directory entry after it. An fsync failure is a distinct error —
     // the write calls all succeeded, but nothing is guaranteed durable.
-    if (options.durable && !fsyncFd(::fileno(f))) {
+    errno = 0;
+    if (options.durable &&
+        !io::fsyncFdFp(fpPrefix + ".fsync", ::fileno(f))) {
+        const bool full = errno == ENOSPC;
         warn("checkpoint: fsync of %s failed", tmp.c_str());
         std::fclose(f);
         std::remove(tmp.c_str());
-        return CheckpointWriteResult::FsyncFailed;
-    }
-    if (std::fclose(f) != 0) {
-        warn("checkpoint: close of %s failed", tmp.c_str());
-        std::remove(tmp.c_str());
-        return CheckpointWriteResult::WriteFailed;
+        return full ? CheckpointWriteResult::NoSpace
+                    : CheckpointWriteResult::FsyncFailed;
     }
     errno = 0;
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (io::fcloseFp(fpPrefix + ".close", f) != 0) {
+        const bool full = errno == ENOSPC;
+        warn("checkpoint: close of %s failed", tmp.c_str());
+        std::remove(tmp.c_str());
+        return full ? CheckpointWriteResult::NoSpace
+                    : CheckpointWriteResult::WriteFailed;
+    }
+    errno = 0;
+    if (io::renameFp(fpPrefix + ".rename", tmp, path) != 0) {
         const bool gone = errno == ENOENT;
+        const bool full = errno == ENOSPC;
         warn("checkpoint: rename %s -> %s failed%s", tmp.c_str(),
              path.c_str(), gone ? " (directory missing)" : "");
         std::remove(tmp.c_str());
-        return gone ? CheckpointWriteResult::DirMissing
+        if (gone)
+            return CheckpointWriteResult::DirMissing;
+        return full ? CheckpointWriteResult::NoSpace
                     : CheckpointWriteResult::RenameFailed;
     }
-    if (options.durable && !fsyncParentDir(path)) {
+    if (options.durable &&
+        !io::fsyncPathFp(fpPrefix + ".dirfsync", parentDir(path))) {
         warn("checkpoint: directory fsync after committing %s failed",
              path.c_str());
         return CheckpointWriteResult::DirFsyncFailed;
@@ -379,9 +407,18 @@ writeCheckpoint(const std::string &path, const TrainerSnapshot &snap)
 CheckpointLoadResult
 readCheckpoint(const std::string &path, TrainerSnapshot &out)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr)
-        return CheckpointLoadResult::Missing;
+    errno = 0;
+    std::FILE *f = io::fopenFp("ckpt.read.open", path, "rb");
+    if (f == nullptr) {
+        // ENOENT means no snapshot was ever committed; any other
+        // errno (EACCES, EIO, injected failures) means a file that
+        // exists but cannot be read — classify it Corrupt so the
+        // generation scan falls back to an older entry instead of
+        // concluding "cold start".
+        return errno == ENOENT || !pathExists(path)
+                   ? CheckpointLoadResult::Missing
+                   : CheckpointLoadResult::Corrupt;
+    }
     CrcReader r(f);
     const auto corrupt = [&] {
         std::fclose(f);

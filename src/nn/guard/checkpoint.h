@@ -88,6 +88,15 @@ enum class CheckpointWriteResult
      * async writer's retry budget covers the re-attempt.
      */
     DirMissing,
+    /**
+     * A write/flush/fsync/close failed with ENOSPC: the volume is
+     * full. Typed separately because the recovery differs — the
+     * generation store prunes its oldest redundant generation to free
+     * space and retries, and only surfaces NoSpace when pruning can
+     * no longer help (the async writer's retry budget then covers
+     * transient full-disk windows).
+     */
+    NoSpace,
 };
 
 const char *checkpointWriteResultName(CheckpointWriteResult result);
@@ -108,6 +117,15 @@ struct CheckpointWriteOptions
     /** Sleep this long after each write call — widens the mid-write
      *  window so an external killer can hit it. 0 = no slow-down. */
     unsigned slowWriteMicros = 0;
+    /**
+     * Failpoint site prefix for the durable-write ladder: the open /
+     * write / fsync / close / rename / dirfsync stages evaluate
+     * "<prefix>.open" etc. (common/failpoint.h). Checkpoint bodies
+     * use the default; manifest writers override ("ckpt.manifest",
+     * "dist.manifest") so each persistence surface is independently
+     * fireable.
+     */
+    std::string failpointPrefix = "ckpt.body";
 };
 
 /**

@@ -36,8 +36,10 @@ writeTextFileDurable(const std::string &path,
                      const CheckpointWriteOptions &options)
 {
     const std::string tmp = path + ".tmp";
+    const std::string &fpPrefix = options.failpointPrefix;
+    const std::string writeSite = fpPrefix + ".write";
     errno = 0;
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    std::FILE *f = io::fopenFp(fpPrefix + ".open", tmp, "wb");
     if (f == nullptr)
         return errno == ENOENT ? CheckpointWriteResult::DirMissing
                                : CheckpointWriteResult::OpenFailed;
@@ -45,10 +47,14 @@ writeTextFileDurable(const std::string &path,
     for (std::size_t off = 0; off < content.size(); off += kChunk) {
         const std::size_t len =
             std::min(kChunk, content.size() - off);
-        if (std::fwrite(content.data() + off, 1, len, f) != len) {
+        errno = 0;
+        if (io::fwriteFp(writeSite, content.data() + off, len, f) !=
+            len) {
+            const bool full = errno == ENOSPC;
             std::fclose(f);
             std::remove(tmp.c_str());
-            return CheckpointWriteResult::WriteFailed;
+            return full ? CheckpointWriteResult::NoSpace
+                        : CheckpointWriteResult::WriteFailed;
         }
         if (options.slowWriteMicros > 0)
             ::usleep(options.slowWriteMicros);
@@ -62,28 +68,42 @@ writeTextFileDurable(const std::string &path,
             }
         }
     }
-    if (std::fflush(f) != 0) {
+    errno = 0;
+    if (io::fflushFp(writeSite, f) != 0) {
+        const bool full = errno == ENOSPC;
         std::fclose(f);
         std::remove(tmp.c_str());
-        return CheckpointWriteResult::WriteFailed;
-    }
-    if (options.durable && !fsyncFd(::fileno(f))) {
-        std::fclose(f);
-        std::remove(tmp.c_str());
-        return CheckpointWriteResult::FsyncFailed;
-    }
-    if (std::fclose(f) != 0) {
-        std::remove(tmp.c_str());
-        return CheckpointWriteResult::WriteFailed;
+        return full ? CheckpointWriteResult::NoSpace
+                    : CheckpointWriteResult::WriteFailed;
     }
     errno = 0;
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        const bool gone = errno == ENOENT;
+    if (options.durable &&
+        !io::fsyncFdFp(fpPrefix + ".fsync", ::fileno(f))) {
+        const bool full = errno == ENOSPC;
+        std::fclose(f);
         std::remove(tmp.c_str());
-        return gone ? CheckpointWriteResult::DirMissing
+        return full ? CheckpointWriteResult::NoSpace
+                    : CheckpointWriteResult::FsyncFailed;
+    }
+    errno = 0;
+    if (io::fcloseFp(fpPrefix + ".close", f) != 0) {
+        const bool full = errno == ENOSPC;
+        std::remove(tmp.c_str());
+        return full ? CheckpointWriteResult::NoSpace
+                    : CheckpointWriteResult::WriteFailed;
+    }
+    errno = 0;
+    if (io::renameFp(fpPrefix + ".rename", tmp, path) != 0) {
+        const bool gone = errno == ENOENT;
+        const bool full = errno == ENOSPC;
+        std::remove(tmp.c_str());
+        if (gone)
+            return CheckpointWriteResult::DirMissing;
+        return full ? CheckpointWriteResult::NoSpace
                     : CheckpointWriteResult::RenameFailed;
     }
-    if (options.durable && !fsyncParentDir(path))
+    if (options.durable &&
+        !io::fsyncPathFp(fpPrefix + ".dirfsync", parentDir(path)))
         return CheckpointWriteResult::DirFsyncFailed;
     return CheckpointWriteResult::Ok;
 }
@@ -243,8 +263,10 @@ CheckpointStore::writeManifest(const std::vector<ManifestEntry> &entries)
                       e.file.c_str(), e.crc, e.step);
         text += line;
     }
+    CheckpointWriteOptions manifestOpts = config_.write;
+    manifestOpts.failpointPrefix = "ckpt.manifest";
     const auto res = writeTextFileDurable(pathOf(kManifestName), text,
-                                          config_.write);
+                                          manifestOpts);
     if (res != CheckpointWriteResult::Ok) {
         warn("ckpt-store: manifest rewrite in %s failed (%s)",
              config_.dir.c_str(), checkpointWriteResultName(res));
@@ -346,11 +368,24 @@ CheckpointStore::commit(const TrainerSnapshot &snap)
         return gone ? CheckpointWriteResult::DirMissing
                     : CheckpointWriteResult::OpenFailed;
     }
+    // The generation scan must distinguish "directory empty" from
+    // "directory unreadable": starting numbering over because of a
+    // transient EIO/EACCES would reuse generation numbers and clobber
+    // live snapshots. An unreadable directory maps onto the typed
+    // DirMissing retry path (transient by design; the async writer's
+    // budget covers it).
+    std::vector<std::string> dirNames;
+    int listErr = 0;
+    if (!listDirEx(config_.dir, dirNames, &listErr)) {
+        warn("ckpt-store: cannot scan %s (%s)", config_.dir.c_str(),
+             std::strerror(listErr));
+        return CheckpointWriteResult::DirMissing;
+    }
     std::vector<ManifestEntry> entries = currentEntries(nullptr);
     // Never reuse a generation number: count orphans from an earlier
     // kill (data file renamed, manifest rewrite never ran) as taken.
     std::uint64_t maxGen = entries.empty() ? 0 : entries.back().gen;
-    for (const std::string &name : listDir(config_.dir))
+    for (const std::string &name : dirNames)
         maxGen = std::max(maxGen, parseGenerationFileName(name));
     const std::uint64_t gen = maxGen + 1;
 
@@ -370,6 +405,44 @@ CheckpointStore::commit(const TrainerSnapshot &snap)
                 "ckpt.dir_recreated");
         if (ensureDir(config_.dir)) {
             recreated.inc();
+            wres = writeCheckpointEx(pathOf(e.file), snap,
+                                     config_.write, &e.crc);
+        }
+    }
+    if (wres == CheckpointWriteResult::NoSpace) {
+        // Volume full. Free space by unlinking the oldest on-disk
+        // generation — but only while a *newer* one still verifies,
+        // so a full disk can never cost the run its only way back —
+        // then retry the write once. A still-full disk surfaces the
+        // typed NoSpace and the async writer's retry budget takes
+        // over. The manifest briefly naming the unlinked file is
+        // harmless: loadLatest skips entries whose file is gone.
+        static obs::Counter &prunes =
+            obs::MetricRegistry::instance().counter(
+                "ckpt.enospc_prunes");
+        auto pruneOldestForSpace = [&]() -> bool {
+            while (entries.size() >= 2) {
+                bool newerOk = false;
+                for (std::size_t j = entries.size();
+                     j-- > 1 && !newerOk;)
+                    newerOk = entryVerifiesOk(entries[j]);
+                if (!newerOk)
+                    return false;
+                const std::string victim =
+                    pathOf(entries.front().file);
+                entries.erase(entries.begin());
+                if (std::remove(victim.c_str()) == 0)
+                    return true;
+                // Orphan entry (file already gone): nothing freed,
+                // consider the next-oldest.
+            }
+            return false;
+        };
+        warn("ckpt-store: %s is full; pruning oldest generation and "
+             "retrying",
+             config_.dir.c_str());
+        if (pruneOldestForSpace()) {
+            prunes.inc();
             wres = writeCheckpointEx(pathOf(e.file), snap,
                                      config_.write, &e.crc);
         }

@@ -52,8 +52,10 @@ writeShardManifest(const std::string &rootDir,
     std::snprintf(line, sizeof(line), "crc %08x\n",
                   crc32(body.data(), body.size()));
     body += line;
+    CheckpointWriteOptions opts = options;
+    opts.failpointPrefix = "dist.manifest";
     return writeTextFileDurable(shardManifestPath(rootDir), body,
-                                options);
+                                opts);
 }
 
 bool

@@ -11,6 +11,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/fileutil.h"
 #include "obs/jsonw.h"
 #include "obs/trace.h"
 
@@ -344,15 +345,28 @@ namespace {
 bool
 writeWholeFile(const std::string &path, const std::string &text)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    static Counter &errors =
+        MetricRegistry::instance().counter("obs.write_errors");
+    std::FILE *f = io::fopenFp("obs.metrics.open", path, "wb");
     if (f == nullptr) {
+        errors.inc();
         std::fprintf(stderr, "[warn] obs: cannot open %s\n",
                      path.c_str());
         return false;
     }
-    const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    return n == text.size();
+    const std::size_t n =
+        io::fwriteFp("obs.metrics.write", text.data(), text.size(), f);
+    // A failing fclose means stdio's flush lost bytes even though
+    // every fwrite "succeeded" — silently returning true here was the
+    // original silent-write-failure bug.
+    const bool closed = io::fcloseFp("obs.metrics.close", f) == 0;
+    if (n != text.size() || !closed) {
+        errors.inc();
+        std::fprintf(stderr, "[warn] obs: write to %s failed\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace

@@ -5,7 +5,12 @@
 
 #include "obs/telemetry.h"
 
+#include <cerrno>
+#include <cstring>
+
+#include "common/fileutil.h"
 #include "obs/jsonw.h"
+#include "obs/metrics.h"
 
 namespace cq::obs {
 
@@ -81,10 +86,9 @@ StepTelemetry::toJson() const
 
 JsonlTelemetrySink::JsonlTelemetrySink(const std::string &path)
 {
-    file_ = std::fopen(path.c_str(), "wb");
+    file_ = io::fopenFp("obs.telemetry.open", path, "wb");
     if (file_ == nullptr)
-        std::fprintf(stderr, "[warn] telemetry: cannot open %s\n",
-                     path.c_str());
+        enterDegraded("open");
 }
 
 JsonlTelemetrySink::~JsonlTelemetrySink()
@@ -94,14 +98,43 @@ JsonlTelemetrySink::~JsonlTelemetrySink()
 }
 
 void
+JsonlTelemetrySink::enterDegraded(const char *what)
+{
+    static Counter &errors =
+        MetricRegistry::instance().counter("obs.write_errors");
+    errors.inc();
+    // Warn exactly once per sink: degraded mode is sticky, so this
+    // transition cannot repeat and the log is not flooded by a full
+    // disk emitting one error per step.
+    std::fprintf(stderr,
+                 "[warn] telemetry: %s failed (%s); dropping further "
+                 "records\n",
+                 what, std::strerror(errno));
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    degraded_ = true;
+}
+
+void
 JsonlTelemetrySink::onStep(const StepTelemetry &record)
 {
-    if (file_ == nullptr)
+    if (file_ == nullptr) {
+        if (degraded_)
+            ++dropped_;
         return;
-    const std::string line = record.toJson();
-    std::fwrite(line.data(), 1, line.size(), file_);
-    std::fputc('\n', file_);
-    std::fflush(file_);
+    }
+    std::string line = record.toJson();
+    line += '\n';
+    errno = 0;
+    if (io::fwriteFp("obs.telemetry.write", line.data(), line.size(),
+                     file_) != line.size() ||
+        io::fflushFp("obs.telemetry.flush", file_) != 0) {
+        enterDegraded("write");
+        ++dropped_;
+        return;
+    }
     ++records_;
 }
 

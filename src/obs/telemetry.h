@@ -73,8 +73,16 @@ class TelemetrySink
     virtual void onStep(const StepTelemetry &record) = 0;
 };
 
-/** Appends one JSON line per step to a file, flushed per record so a
- *  crash loses at most the in-flight line. */
+/**
+ * Appends one JSON line per step to a file, flushed per record so a
+ * crash loses at most the in-flight line.
+ *
+ * Write failures never propagate to the trainer: on the first failed
+ * write/flush the sink warns once, bumps the "obs.write_errors"
+ * counter, closes the file, and enters a *degraded* mode that drops
+ * (and counts) every further record. Telemetry is observational — a
+ * full disk under the telemetry path must not abort training.
+ */
 class JsonlTelemetrySink : public TelemetrySink
 {
   public:
@@ -86,12 +94,21 @@ class JsonlTelemetrySink : public TelemetrySink
     bool ok() const { return file_ != nullptr; }
     std::uint64_t recordsWritten() const { return records_; }
 
+    /** True once a write failure switched the sink to dropping. */
+    bool degraded() const { return degraded_; }
+    /** Records dropped since entering degraded mode. */
+    std::uint64_t droppedRecords() const { return dropped_; }
+
     JsonlTelemetrySink(const JsonlTelemetrySink &) = delete;
     JsonlTelemetrySink &operator=(const JsonlTelemetrySink &) = delete;
 
   private:
+    void enterDegraded(const char *what);
+
     std::FILE *file_ = nullptr;
     std::uint64_t records_ = 0;
+    std::uint64_t dropped_ = 0;
+    bool degraded_ = false;
 };
 
 } // namespace cq::obs

@@ -13,7 +13,9 @@
 #include <memory>
 #include <mutex>
 
+#include "common/fileutil.h"
 #include "obs/jsonw.h"
+#include "obs/metrics.h"
 
 namespace cq::obs {
 
@@ -257,17 +259,25 @@ TraceSession::chromeTraceJson() const
 bool
 TraceSession::writeChromeTrace(const std::string &path) const
 {
+    static Counter &errors =
+        MetricRegistry::instance().counter("obs.write_errors");
     const std::string json = chromeTraceJson();
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::FILE *f = io::fopenFp("obs.trace.open", path, "wb");
     if (f == nullptr) {
+        errors.inc();
         std::fprintf(stderr, "[warn] trace: cannot open %s\n",
                      path.c_str());
         return false;
     }
-    const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    if (n != json.size()) {
-        std::fprintf(stderr, "[warn] trace: short write to %s\n",
+    const std::size_t n =
+        io::fwriteFp("obs.trace.write", json.data(), json.size(), f);
+    // fclose flushes stdio's buffer; its error return is the *last*
+    // chance to learn the bytes never landed (a short fwrite above
+    // already told us for the buffered portion).
+    const bool closed = io::fcloseFp("obs.trace.close", f) == 0;
+    if (n != json.size() || !closed) {
+        errors.inc();
+        std::fprintf(stderr, "[warn] trace: write to %s failed\n",
                      path.c_str());
         return false;
     }

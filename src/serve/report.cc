@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Implementation of the job-report writer.
+ */
+
+#include "serve/report.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fileutil.h"
+#include "obs/metrics.h"
+
+namespace cq::serve {
+
+const char *
+reportWriteResultName(ReportWriteResult result)
+{
+    switch (result) {
+      case ReportWriteResult::Ok:           return "ok";
+      case ReportWriteResult::RetriedOk:    return "retried-ok";
+      case ReportWriteResult::DeadLettered: return "dead-lettered";
+    }
+    return "?";
+}
+
+std::string
+reportsToJson(const std::vector<JobReport> &reports)
+{
+    std::string out = "[\n";
+    char line[768];
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const JobReport &r = reports[i];
+        std::snprintf(
+            line, sizeof(line),
+            "  {\"id\": \"%s\", \"tenant\": \"%s\", \"state\": "
+            "\"%s\", \"failure\": \"%s\", \"attempts\": %u, "
+            "\"retries\": %u, \"resultCrc\": %u, \"stepsRun\": "
+            "%llu, \"queueMs\": %.3f, \"runMs\": %.3f}%s\n",
+            r.id.c_str(), r.tenant.c_str(), jobStateName(r.state),
+            failureKindName(r.failure), r.attempts, r.retries,
+            r.resultCrc, static_cast<unsigned long long>(r.stepsRun),
+            r.queueMs, r.runMs, i + 1 < reports.size() ? "," : "");
+        out += line;
+    }
+    out += "]\n";
+    return out;
+}
+
+namespace {
+
+/** One write attempt through the failpoint-aware seam. */
+bool
+tryWrite(const std::string &path, const std::string &json)
+{
+    std::FILE *f = io::fopenFp("serve.report.open", path, "w");
+    if (f == nullptr)
+        return false;
+    const std::size_t n =
+        io::fwriteFp("serve.report.write", json.data(), json.size(),
+                     f);
+    const bool closed = io::fcloseFp("serve.report.close", f) == 0;
+    if (n != json.size() || !closed) {
+        std::remove(path.c_str()); // never leave a torn report behind
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ReportWriteResult
+writeReportsJson(const std::string &path,
+                 const std::vector<JobReport> &reports,
+                 unsigned maxRetries)
+{
+    static obs::Counter &retriesCtr =
+        obs::MetricRegistry::instance().counter(
+            "serve.report_retries");
+    static obs::Counter &deadCtr =
+        obs::MetricRegistry::instance().counter(
+            "serve.report_dead_letters");
+    const std::string json = reportsToJson(reports);
+    for (unsigned attempt = 0; attempt <= maxRetries; ++attempt) {
+        if (attempt > 0)
+            retriesCtr.inc();
+        errno = 0;
+        if (tryWrite(path, json)) {
+            return attempt == 0 ? ReportWriteResult::Ok
+                                : ReportWriteResult::RetriedOk;
+        }
+        std::fprintf(stderr,
+                     "[warn] serve: report write to %s failed (%s), "
+                     "attempt %u/%u\n",
+                     path.c_str(), std::strerror(errno), attempt + 1,
+                     maxRetries + 1);
+    }
+    // Dead-letter channel: the reports are the run's ground truth, so
+    // when the file cannot be produced they go to stderr between
+    // grep-able markers instead of vanishing.
+    deadCtr.inc();
+    std::fprintf(stderr, "--- CQ-REPORT-DEAD-LETTER BEGIN %s ---\n%s"
+                         "--- CQ-REPORT-DEAD-LETTER END ---\n",
+                 path.c_str(), json.c_str());
+    return ReportWriteResult::DeadLettered;
+}
+
+} // namespace cq::serve

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Persisting the scheduler's terminal job reports.
+ *
+ * The report file is the only durable record of what happened to each
+ * accepted job, so a failed write must not be silent and must not
+ * lose the content. The writer retries a bounded number of times
+ * (full disks and NFS hiccups are frequently transient) and, when the
+ * budget is exhausted, *dead-letters* the JSON to stderr between
+ * unambiguous markers — an operator or wrapper script can still
+ * recover every report from the captured log.
+ */
+
+#ifndef CQ_SERVE_REPORT_H
+#define CQ_SERVE_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace cq::serve {
+
+/** How persisting the reports ended. */
+enum class ReportWriteResult
+{
+    /** Written on the first attempt. */
+    Ok,
+    /** Written, but only after at least one retry. */
+    RetriedOk,
+    /** Every attempt failed; the JSON went to the stderr
+     *  dead-letter channel instead. */
+    DeadLettered,
+};
+
+const char *reportWriteResultName(ReportWriteResult result);
+
+/** Render the reports as the cqsim JSON array (one object per job,
+ *  trailing newline). */
+std::string reportsToJson(const std::vector<JobReport> &reports);
+
+/**
+ * Write the reports to @p path as JSON. Failed attempts are retried
+ * up to @p maxRetries times ("serve.report_retries" counts them); on
+ * exhaustion the JSON is dead-lettered to stderr
+ * ("serve.report_dead_letters") and DeadLettered is returned — the
+ * caller decides whether that fails the run, but the content is never
+ * lost silently. Honors the serve.report.{open,write,close}
+ * failpoints.
+ */
+ReportWriteResult writeReportsJson(const std::string &path,
+                                   const std::vector<JobReport> &reports,
+                                   unsigned maxRetries = 2);
+
+} // namespace cq::serve
+
+#endif // CQ_SERVE_REPORT_H

@@ -1,15 +1,21 @@
 /**
  * @file
  * Tests for the common support library: RNG determinism and
- * distributions, stats registry semantics, and the JSON parser's
- * typed error classes (notably the nesting-depth resource limit).
+ * distributions, stats registry semantics, the JSON parser's typed
+ * error classes (notably the nesting-depth resource limit), and the
+ * fileutil error paths (parentDir edges, fsync/CRC/stat of
+ * unreadable paths, listDirEx's empty-vs-unreadable distinction).
  */
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <set>
 
+#include "common/crc32.h"
+#include "common/fileutil.h"
 #include "common/json.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -212,6 +218,67 @@ TEST(JsonDepth, ErrorKindsDistinguishSyntaxIoAndDepth)
     EXPECT_EQ(ok.errorKind, json::ParseErrorKind::None);
     EXPECT_STREQ(json::parseErrorKindName(json::ParseErrorKind::TooDeep),
                  "tooDeep");
+}
+
+TEST(FileutilErrors, ParentDirEdgeCases)
+{
+    EXPECT_EQ(parentDir("a/b"), "a");
+    EXPECT_EQ(parentDir("/x"), "/");
+    EXPECT_EQ(parentDir("plain"), ".");
+    EXPECT_EQ(parentDir("/a/b/c.bin"), "/a/b");
+    EXPECT_EQ(parentDir(""), ".");
+}
+
+TEST(FileutilErrors, FsyncOfMissingPathFails)
+{
+    EXPECT_FALSE(fsyncPath("/nonexistent/never"));
+    EXPECT_FALSE(fsyncParentDir("/nonexistent/never/file.bin"));
+}
+
+TEST(FileutilErrors, FileSizeAndCrcOfUnreadableFile)
+{
+    EXPECT_EQ(fileSize("/nonexistent/never.bin"), -1);
+    std::uint32_t crc = 0xdeadbeef;
+    EXPECT_FALSE(crc32OfFile("/nonexistent/never.bin", crc));
+    // A failed call must not fabricate a value.
+    EXPECT_EQ(crc, 0xdeadbeefu);
+}
+
+TEST(FileutilErrors, Crc32OfFileMatchesBufferCrc)
+{
+    const std::string dir = ::testing::TempDir() + "fileutil_crc";
+    ASSERT_TRUE(ensureDir(dir));
+    const std::string path = dir + "/blob.bin";
+    const std::string payload = "the quick brown fox";
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(payload.data(), 1, payload.size(), f),
+              payload.size());
+    ASSERT_EQ(std::fclose(f), 0);
+    std::uint32_t fromFile = 0;
+    ASSERT_TRUE(crc32OfFile(path, fromFile));
+    EXPECT_EQ(fromFile, crc32(payload.data(), payload.size(), 0));
+    EXPECT_EQ(fileSize(path),
+              static_cast<long long>(payload.size()));
+}
+
+TEST(FileutilErrors, ListDirExDistinguishesEmptyFromUnreadable)
+{
+    const std::string dir = ::testing::TempDir() + "fileutil_empty";
+    ASSERT_TRUE(ensureDir(dir));
+    for (const std::string &f : listDir(dir))
+        std::remove((dir + "/" + f).c_str());
+
+    std::vector<std::string> names{"stale"};
+    int err = 0;
+    EXPECT_TRUE(listDirEx(dir, names, &err));
+    EXPECT_TRUE(names.empty());
+
+    // listDir() cannot tell these apart — listDirEx can.
+    EXPECT_FALSE(listDirEx("/nonexistent/never", names, &err));
+    EXPECT_EQ(err, ENOENT);
+    EXPECT_TRUE(names.empty());
+    EXPECT_TRUE(listDir("/nonexistent/never").empty());
 }
 
 } // namespace

@@ -44,6 +44,7 @@
 #include "arch/trace_export.h"
 #include "baseline/tpu_sim.h"
 #include "common/argparse.h"
+#include "common/failpoint.h"
 #include "common/signal_flag.h"
 #include "compiler/codegen.h"
 #include "compiler/workloads.h"
@@ -52,6 +53,7 @@
 #include "nn/guard/crash_harness.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/report.h"
 #include "serve/scheduler.h"
 
 using namespace cq;
@@ -83,7 +85,12 @@ printUsage(std::FILE *to)
         "       cqsim --serve jobs.json [--serve-workers N]\n"
         "             [--serve-queue-cap N] [--serve-report F]\n"
         "observability (all modes):\n"
-        "             [--trace-out F] [--metrics-out F]\n");
+        "             [--trace-out F] [--metrics-out F]\n"
+        "fault injection (all modes):\n"
+        "             [--failpoints SPEC]   "
+        "e.g. \"ckpt.body.write=enospc,once=1\"\n"
+        "             (also via CQ_FAILPOINTS; see "
+        "common/failpoint.h)\n");
 }
 
 void
@@ -509,45 +516,22 @@ runServe(const ServeArgs &a, const std::string &metricsOut)
                 static_cast<unsigned long long>(s.retries));
 
     if (!a.reportOut.empty()) {
-        std::FILE *f = std::fopen(a.reportOut.c_str(), "w");
-        if (f == nullptr) {
-            std::fprintf(stderr, "cqsim: cannot write %s\n",
+        // Bounded retry with a stderr dead-letter on exhaustion: the
+        // reports are the run's ground truth, so a full disk must not
+        // lose them silently (serve/report.h).
+        const auto wres =
+            serve::writeReportsJson(a.reportOut, sched.reports());
+        if (wres == serve::ReportWriteResult::DeadLettered)
+            std::fprintf(stderr,
+                         "cqsim: report %s dead-lettered to stderr\n",
                          a.reportOut.c_str());
-            return 1;
-        }
-        std::fprintf(f, "[\n");
-        const auto reports = sched.reports();
-        for (std::size_t i = 0; i < reports.size(); ++i) {
-            const serve::JobReport &r = reports[i];
-            std::fprintf(
-                f,
-                "  {\"id\": \"%s\", \"tenant\": \"%s\", \"state\": "
-                "\"%s\", \"failure\": \"%s\", \"attempts\": %u, "
-                "\"retries\": %u, \"resultCrc\": %u, \"stepsRun\": "
-                "%llu, \"queueMs\": %.3f, \"runMs\": %.3f}%s\n",
-                r.id.c_str(), r.tenant.c_str(),
-                serve::jobStateName(r.state),
-                serve::failureKindName(r.failure), r.attempts,
-                r.retries, r.resultCrc,
-                static_cast<unsigned long long>(r.stepsRun),
-                r.queueMs, r.runMs,
-                i + 1 < reports.size() ? "," : "");
-        }
-        std::fprintf(f, "]\n");
-        std::fclose(f);
     }
     if (!metricsOut.empty()) {
         const StatGroup g = sched.statGroup();
-        std::FILE *f = std::fopen(metricsOut.c_str(), "w");
-        if (f == nullptr) {
-            std::fprintf(stderr, "cqsim: cannot write %s\n",
-                         metricsOut.c_str());
-            return 1;
-        }
-        const std::string text =
-            obs::MetricRegistry::instance().promText({&g});
-        std::fwrite(text.data(), 1, text.size(), f);
-        std::fclose(f);
+        // writeProm checks every stage and reports through
+        // obs.write_errors; a failed metrics dump warns but does not
+        // turn a successful serve run into a failure.
+        obs::MetricRegistry::instance().writeProm(metricsOut, {&g});
     }
     return s.failed == 0 ? 0 : 1;
 }
@@ -664,7 +648,14 @@ main(int argc, char **argv)
             train.abft = true;
         else if (arg == "--fault-rate")
             train.faultRate = args::parseNonNegF64(kProg, arg, next());
-        else if (arg == "--trace-out")
+        else if (arg == "--failpoints") {
+            std::string fpErr;
+            if (!fp::Registry::instance().configure(next(), &fpErr)) {
+                std::fprintf(stderr, "cqsim: bad --failpoints: %s\n",
+                             fpErr.c_str());
+                return 2;
+            }
+        } else if (arg == "--trace-out")
             traceOut = next();
         else if (arg == "--metrics-out")
             metricsOut = next();
