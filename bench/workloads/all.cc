@@ -26,6 +26,7 @@ registerAll()
     registerServeThroughput();
     registerScaleoutAllreduce();
     registerKernels();
+    registerObsOverhead();
 }
 
 } // namespace cq::bench::workloads

@@ -26,6 +26,7 @@ void registerFaultResilience();
 void registerServeThroughput();
 void registerScaleoutAllreduce();
 void registerKernels();
+void registerObsOverhead();
 
 } // namespace cq::bench::workloads
 

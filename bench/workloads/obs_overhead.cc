@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Observability overhead budget (PERF-07): the same training leg runs
+ * dark (tracing off, no scrape endpoint) and lit (TraceSession on, an
+ * ObsServer up, a sidecar thread scraping /metrics at 10 Hz), three
+ * interleaved repetitions each. The gated metric is
+ *
+ *   overhead_frac = max(0, litMin / darkMin - 1)
+ *
+ * with min-of-reps on both sides so scheduler noise cancels instead
+ * of accumulating. bench/gates.json bounds it at 5%: the live
+ * observability plane must stay cheap enough to leave on in
+ * production runs.
+ *
+ * The deterministic companion metric crc_identical re-asserts the
+ * obs-identity invariant right here in the bench: every leg, dark or
+ * scraped, must finish with the same masters CRC.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/threadpool.h"
+#include "harness/workload.h"
+#include "nn/guard/crash_harness.h"
+#include "obs/http_export.h"
+#include "obs/obs_server.h"
+#include "obs/trace.h"
+#include "workloads/all.h"
+
+namespace cq::bench::workloads {
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct Leg
+{
+    double ms = 0.0;
+    std::uint32_t crc = 0;
+    std::uint64_t steps = 0;
+};
+
+Leg
+runLeg(const WorkloadContext &ctx, std::uint64_t steps, bool lit)
+{
+    nn::guard::CrashHarnessConfig cfg;
+    cfg.seed = ctx.seed;
+    cfg.steps = steps;
+    // Production-shaped steps: with a microscopic batch every span's
+    // fixed cost (two clock reads + a ring append) would be measured
+    // against a microseconds-long step and the budget would gate the
+    // toy, not the plane.
+    cfg.batchSize = 256;
+    // Width-1 legs: pool handoffs add run-to-run variance bigger than
+    // the effect under test, and a deployment scraping a box leaves
+    // the plane a spare core anyway. The pool's 1-vs-N determinism
+    // contract keeps the CRCs comparable either way.
+    CallerWidthCapScope width(1);
+
+    obs::TraceSession &trace = obs::TraceSession::instance();
+    obs::ObsServer server;
+    std::atomic<bool> stopScrape{false};
+    std::thread scraper;
+    if (lit) {
+        trace.setEnabled(true);
+        obs::ObsServerConfig scfg; // ephemeral port
+        if (server.start(scfg)) {
+            scraper = std::thread([&] {
+                while (!stopScrape.load()) {
+                    int status = 0;
+                    std::string body;
+                    obs::httpGet(server.port(), "/metrics", status,
+                                 body, 1000);
+                    ::usleep(100000); // 10 Hz
+                }
+            });
+        }
+    }
+
+    const double t0 = nowMs();
+    const auto r = nn::guard::runCrashHarness(cfg);
+    const double t1 = nowMs();
+
+    if (lit) {
+        stopScrape.store(true);
+        if (scraper.joinable())
+            scraper.join();
+        server.stop();
+        trace.setEnabled(false);
+        trace.clear(); // bound span memory across reps
+    }
+    return {t1 - t0, r.mastersCrc, r.stepsRun};
+}
+
+WorkloadResult
+run(const WorkloadContext &ctx)
+{
+    const std::uint64_t steps = ctx.quick ? 150 : 400;
+    const int reps = ctx.quick ? 5 : 7;
+
+    WorkloadResult out;
+    double darkMin = 0.0, litMin = 0.0;
+    std::uint32_t refCrc = 0;
+    bool crcIdentical = true;
+    for (int rep = 0; rep < reps; ++rep) {
+        // Interleaved legs in alternating order: frequency scaling, a
+        // noisy neighbour, or a warm-up ramp hits both arms, not just
+        // whichever happens to run second.
+        Leg dark, lit;
+        if (rep % 2 == 0) {
+            dark = runLeg(ctx, steps, false);
+            lit = runLeg(ctx, steps, true);
+        } else {
+            lit = runLeg(ctx, steps, true);
+            dark = runLeg(ctx, steps, false);
+        }
+        if (rep == 0)
+            refCrc = dark.crc;
+        crcIdentical = crcIdentical && dark.crc == refCrc &&
+                       lit.crc == refCrc &&
+                       dark.steps == steps && lit.steps == steps;
+        darkMin = (rep == 0) ? dark.ms : std::min(darkMin, dark.ms);
+        litMin = (rep == 0) ? lit.ms : std::min(litMin, lit.ms);
+    }
+
+    const double frac =
+        darkMin > 0.0 ? std::max(0.0, litMin / darkMin - 1.0) : 0.0;
+    out.setTiming("dark_ms", darkMin);
+    out.setTiming("lit_ms", litMin);
+    out.setTiming("overhead_frac", frac, "x");
+    out.set("crc_identical", crcIdentical ? 1.0 : 0.0);
+    out.notes = "lit = tracing on + /metrics scraped at 10 Hz; "
+                "min over interleaved alternating-order reps per arm; "
+                "CRCs must match the dark leg bit for bit";
+    return out;
+}
+
+} // namespace
+
+void
+registerObsOverhead()
+{
+    Registry::instance().add(
+        {"obs_overhead", "obs",
+         "step-time overhead of live tracing + 10 Hz /metrics scrape "
+         "vs a dark run",
+         "observability budget (DESIGN.md §6)",
+         run});
+}
+
+} // namespace cq::bench::workloads

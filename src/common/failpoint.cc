@@ -280,6 +280,10 @@ Registry::declaredSites()
         "obs.metrics.open",
         "obs.metrics.write",
         "obs.metrics.close",
+        // Live HTTP scrape surface (obs_server): injected failures
+        // latch the server's sticky degraded-drop mode.
+        "obs.http.accept",
+        "obs.http.write",
         // Serve report writer (retry + dead-letter policy).
         "serve.report.open",
         "serve.report.write",

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/context.h"
 #include "obs/trace.h"
 #include "quant/block_quant.h"
 
@@ -174,6 +175,12 @@ ringAllReduceLdq(const std::vector<std::vector<float> *> &grads,
     const auto deliver = [&](std::size_t fromSlot, std::size_t toSlot,
                              const std::vector<std::uint8_t> &payload)
         -> bool {
+        // The hop span lands on the *sending* chip's Perfetto track,
+        // so a loaded trace shows each ring round as a diagonal of
+        // per-chip hops. Scope order matters: the context must
+        // outlive the span's destructor-time record().
+        obs::ObsContextScope hopCtx(static_cast<int>(ring[fromSlot]));
+        CQ_TRACE_SCOPE("dist.allreduce.hop");
         const SendOutcome s = net.send(ring[fromSlot], ring[toSlot],
                                        payload, wire, cancel);
         out.simUs += s.simUs;

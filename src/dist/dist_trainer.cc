@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "nn/guard/ckpt_store.h"
 #include "nn/guard/shard_manifest.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -264,9 +265,18 @@ DistTrainer::run()
     result.resumed = committed_ > 0;
     result.resumedStep = committed_;
 
+    auto &reg = obs::MetricRegistry::instance();
+    obs::Gauge &chipsAliveGauge = reg.gauge("dist.chips_alive");
+    obs::Gauge &stepGauge = reg.gauge("dist.step");
+    obs::Histogram &allreduceLatency =
+        reg.histogram("dist.allreduce_latency_us");
+    reg.gauge("dist.chips_total")
+        .set(static_cast<double>(chips_.size()));
+
     std::vector<std::vector<float>> flat(chips_.size());
     while (committed_ < config_.steps) {
         const std::uint64_t step = committed_ + 1;
+        obs::setObsStep(step);
         CQ_TRACE_SCOPE("dist.step");
         if (config_.cancel != nullptr &&
             config_.cancel->cancelled()) {
@@ -279,6 +289,7 @@ DistTrainer::run()
         std::vector<std::size_t> alive = beats_.alive();
         if (alive.empty())
             break;
+        chipsAliveGauge.set(static_cast<double>(alive.size()));
         for (std::size_t c : alive)
             beats_.beat(c, step);
 
@@ -303,6 +314,12 @@ DistTrainer::run()
                 const Chip &chip = chips_[alive[k]];
                 const nn::Batch shard = sliceBatch(batch, lo, rows[k]);
                 lo += rows[k];
+                // Chip attribution: every span/telemetry record of
+                // this shard's work lands on the chip's Perfetto
+                // track (and inherits any serve-job labels).
+                obs::ObsContextScope chipCtx(
+                    static_cast<int>(alive[k]));
+                CQ_TRACE_SCOPE("dist.chip_step");
                 const double l =
                     chip.trainer->forwardBackwardClassification(
                         shard.inputs, shard.labels);
@@ -318,9 +335,15 @@ DistTrainer::run()
             grads.reserve(n);
             for (std::size_t c : alive)
                 grads.push_back(&flat[c]);
+            const std::uint64_t arStartNs =
+                obs::detail::monotonicNowNs();
             const CollectiveOutcome co = ringAllReduceLdq(
                 grads, alive, net_, config_.collective,
                 config_.cancel);
+            allreduceLatency.observe(
+                static_cast<double>(obs::detail::monotonicNowNs() -
+                                    arStartNs) /
+                1000.0);
             result.retransmits += co.retransmits;
             result.fp32Bytes += co.fp32Bytes;
 
@@ -356,10 +379,12 @@ DistTrainer::run()
             // Commit: every live replica installs the identical
             // reduced gradient and updates in lock step.
             for (std::size_t c : alive) {
+                obs::ObsContextScope chipCtx(static_cast<int>(c));
                 unflattenGrads(chips_[c], flat[c]);
                 chips_[c].trainer->commitStep(loss);
             }
             ++committed_;
+            stepGauge.set(static_cast<double>(committed_));
             stats_.add("dist.steps_committed", 1.0);
             result.finalLoss = loss;
             stepDone = true;

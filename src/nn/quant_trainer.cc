@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/signal_flag.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -288,6 +289,9 @@ QuantTrainer::beginStep()
     ++step_;
     stepHealthy_ = true;
     lastStepDiscarded_ = false;
+    // Label subsequent spans/telemetry with the step (observational
+    // only; the pool hands the label to its workers with the job).
+    obs::setObsStep(step_);
     // Telemetry scratch for the step (observational only).
     stepStartNs_ = obs::detail::monotonicNowNs();
     phaseFwdUs_ = phaseBwdUs_ = phaseQuantUs_ = 0.0;
@@ -448,6 +452,13 @@ QuantTrainer::emitStepTelemetry(double loss, double grad_max_abs)
         return;
     obs::StepTelemetry rec;
     rec.step = step_;
+    {
+        const obs::ObsContext ctx =
+            obs::obsContextById(obs::currentContextId());
+        rec.jobId = ctx.jobId;
+        rec.tenant = ctx.tenant;
+        rec.chipId = ctx.chipId;
+    }
     rec.loss = loss;
     rec.gradMaxAbs = grad_max_abs;
     rec.discarded = lastStepDiscarded_;

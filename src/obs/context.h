@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cross-layer trace context: thread-local attribution labels
+ * (jobId, tenant, chipId, step) that every span and telemetry record
+ * picks up implicitly, so a Perfetto trace or a Prometheus scrape of a
+ * multi-tenant serve run can answer "whose work was this?".
+ *
+ * Contexts are interned into a process-global table and referenced by
+ * a small integer id (0 = no context), so the hot tracing path stores
+ * 8 extra bytes per span instead of strings. Scopes nest: a dist chip
+ * scope opened inside a serve job scope inherits the job's id/tenant
+ * and adds its chipId. `parallelFor` transfers the caller's frame
+ * (ctxId + step) to pool workers so `pool.chunk` spans stay
+ * attributed.
+ *
+ * Like the rest of src/obs, this is observation-only state: scopes
+ * never feed back into training math, so the bitwise obs-on/off
+ * invariant is unaffected.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cq::obs {
+
+/** A resolved attribution context. chipId < 0 means "not chip work". */
+struct ObsContext {
+    std::string jobId;
+    std::string tenant;
+    int chipId = -1;
+};
+
+namespace detail {
+extern thread_local std::uint32_t tlsCtxId;
+extern thread_local std::uint32_t tlsStep;
+} // namespace detail
+
+/** Interned id of the calling thread's context; 0 = none. */
+inline std::uint32_t
+currentContextId()
+{
+    return detail::tlsCtxId;
+}
+
+/** The calling thread's current training step (0 before any step). */
+inline std::uint32_t
+currentObsStep()
+{
+    return detail::tlsStep;
+}
+
+/** Set the calling thread's step label (picked up by future spans). */
+inline void
+setObsStep(std::uint64_t step)
+{
+    detail::tlsStep = static_cast<std::uint32_t>(step);
+}
+
+/**
+ * Intern (jobId, tenant, chipId) and return its id. Identical triples
+ * always map to the same id; id 0 is reserved for "no context".
+ */
+std::uint32_t internObsContext(const std::string &jobId,
+                               const std::string &tenant, int chipId);
+
+/** Copy of the interned context for `id` ({} for 0 / unknown ids). */
+ObsContext obsContextById(std::uint32_t id);
+
+/** Caller's (ctxId, step) packed for hand-off to another thread. */
+std::uint64_t currentObsFrame();
+
+/** RAII: adopt a packed frame (pool workers running caller chunks). */
+class ObsFrameScope {
+  public:
+    explicit ObsFrameScope(std::uint64_t frame);
+    ~ObsFrameScope();
+    ObsFrameScope(const ObsFrameScope &) = delete;
+    ObsFrameScope &operator=(const ObsFrameScope &) = delete;
+
+  private:
+    std::uint32_t prevCtx_;
+    std::uint32_t prevStep_;
+};
+
+/**
+ * RAII attribution scope. The job form labels everything on this
+ * thread with (jobId, tenant) and resets the step counter; the chip
+ * form inherits jobId/tenant from the current context and adds a
+ * chipId (used per chip inside dist_trainer / the collective).
+ */
+class ObsContextScope {
+  public:
+    ObsContextScope(const std::string &jobId, const std::string &tenant);
+    explicit ObsContextScope(int chipId);
+    ~ObsContextScope();
+    ObsContextScope(const ObsContextScope &) = delete;
+    ObsContextScope &operator=(const ObsContextScope &) = delete;
+
+  private:
+    std::uint32_t prevCtx_;
+    std::uint32_t prevStep_;
+    bool resetStep_;
+};
+
+} // namespace cq::obs

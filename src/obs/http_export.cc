@@ -1,0 +1,186 @@
+#include "obs/http_export.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace cq::obs {
+
+bool
+parseHttpRequest(const std::string &raw, HttpRequest &out)
+{
+    const std::size_t eol = raw.find("\r\n");
+    const std::string line =
+        eol == std::string::npos ? raw : raw.substr(0, eol);
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 == std::string::npos)
+        return false;
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp2 == std::string::npos)
+        return false;
+    out.method = line.substr(0, sp1);
+    out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (line.compare(sp2 + 1, 5, "HTTP/") != 0)
+        return false;
+    if (out.method.empty() || out.target.empty() || out.target[0] != '/')
+        return false;
+
+    const std::size_t qmark = out.target.find('?');
+    out.path = out.target.substr(0, qmark);
+    out.query.clear();
+    if (qmark != std::string::npos) {
+        std::size_t pos = qmark + 1;
+        while (pos < out.target.size()) {
+            std::size_t amp = out.target.find('&', pos);
+            if (amp == std::string::npos)
+                amp = out.target.size();
+            const std::string pair = out.target.substr(pos, amp - pos);
+            const std::size_t eq = pair.find('=');
+            if (eq == std::string::npos)
+                out.query[pair] = "";
+            else
+                out.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+            pos = amp + 1;
+        }
+    }
+    return true;
+}
+
+std::string
+httpQueryParam(const HttpRequest &req, const std::string &key,
+               const std::string &fallback)
+{
+    const auto it = req.query.find(key);
+    return it == req.query.end() ? fallback : it->second;
+}
+
+const char *
+httpStatusText(int status)
+{
+    switch (status) {
+    case 200:
+        return "OK";
+    case 400:
+        return "Bad Request";
+    case 404:
+        return "Not Found";
+    case 405:
+        return "Method Not Allowed";
+    case 503:
+        return "Service Unavailable";
+    default:
+        return "Unknown";
+    }
+}
+
+std::string
+httpResponse(int status, const std::string &contentType,
+             const std::string &body)
+{
+    std::string out = "HTTP/1.0 ";
+    out += std::to_string(status);
+    out += ' ';
+    out += httpStatusText(status);
+    out += "\r\nContent-Type: ";
+    out += contentType;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+namespace {
+
+struct FdCloser {
+    int fd;
+    ~FdCloser()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+bool
+setSocketTimeouts(int fd, int timeoutMs)
+{
+    timeval tv;
+    tv.tv_sec = timeoutMs / 1000;
+    tv.tv_usec = (timeoutMs % 1000) * 1000;
+    return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) ==
+               0 &&
+           ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) ==
+               0;
+}
+
+} // namespace
+
+bool
+httpGet(int port, const std::string &path, int &statusOut,
+        std::string &bodyOut, int timeoutMs)
+{
+    statusOut = 0;
+    bodyOut.clear();
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    FdCloser closer{fd};
+    if (!setSocketTimeouts(fd, timeoutMs))
+        return false;
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return false;
+
+    std::string req = "GET ";
+    req += path;
+    req += " HTTP/1.0\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+    std::size_t sent = 0;
+    while (sent < req.size()) {
+        // MSG_NOSIGNAL: a peer close must surface as EPIPE, not kill
+        // the process with SIGPIPE.
+        const ssize_t n = ::send(fd, req.data() + sent,
+                                 req.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0)
+            return false; // timeout or error
+        if (n == 0)
+            break;
+        raw.append(buf, static_cast<std::size_t>(n));
+        if (raw.size() > (64u << 20))
+            return false; // runaway response
+    }
+
+    // "HTTP/1.x NNN reason\r\n headers \r\n\r\n body"
+    if (raw.compare(0, 5, "HTTP/") != 0)
+        return false;
+    const std::size_t sp = raw.find(' ');
+    if (sp == std::string::npos || sp + 4 > raw.size())
+        return false;
+    statusOut = std::atoi(raw.c_str() + sp + 1);
+    const std::size_t sep = raw.find("\r\n\r\n");
+    if (sep == std::string::npos)
+        return false;
+    bodyOut = raw.substr(sep + 4);
+    return statusOut > 0;
+}
+
+} // namespace cq::obs

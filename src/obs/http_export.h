@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal HTTP/1.0 plumbing for the live observability plane: request
+ * parsing, response formatting, and a tiny blocking GET client. No
+ * third-party dependencies — plain POSIX sockets, loopback only.
+ *
+ * The server side (obs_server.h) uses parse/format; the client is for
+ * in-process consumers — tests, the `obs_overhead` benchmark's 10 Hz
+ * scraper, and `cq_faultsweep`'s self-scrape — so every leg of the
+ * "scraping never perturbs training" invariant exercises the same
+ * wire path an external `curl` would.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cq::obs {
+
+/** A parsed request line: method, path, and decoded query params. */
+struct HttpRequest {
+    std::string method;
+    std::string target; // raw, e.g. "/trace?last_ms=500"
+    std::string path;   // "/trace"
+    std::map<std::string, std::string> query;
+};
+
+/** Parse the request head (through the first CRLF). False = garbage. */
+bool parseHttpRequest(const std::string &raw, HttpRequest &out);
+
+/** Query param accessor with default. */
+std::string httpQueryParam(const HttpRequest &req, const std::string &key,
+                           const std::string &fallback);
+
+/** Reason phrase for the handful of statuses the server emits. */
+const char *httpStatusText(int status);
+
+/** Full HTTP/1.0 response (status line + headers + body). */
+std::string httpResponse(int status, const std::string &contentType,
+                         const std::string &body);
+
+/**
+ * Blocking GET against 127.0.0.1:`port`. Fills status/body, returns
+ * false on connect/timeout/protocol failure. Timeout applies to
+ * connect, send, and each read.
+ */
+bool httpGet(int port, const std::string &path, int &statusOut,
+             std::string &bodyOut, int timeoutMs = 5000);
+
+} // namespace cq::obs

@@ -14,6 +14,7 @@
 #include <mutex>
 
 #include "common/fileutil.h"
+#include "obs/context.h"
 #include "obs/jsonw.h"
 #include "obs/metrics.h"
 
@@ -59,13 +60,24 @@ struct HostSpan
     const char *name;
     std::uint64_t startNs;
     std::uint64_t endNs;
+    /** Interned attribution context at record time (0 = none). */
+    std::uint32_t ctxId;
+    /** Training step label at record time (0 = before any step). */
+    std::uint32_t step;
 };
 
-/** Per-thread append-only buffer, owned by the session. */
+/** Per-thread buffer, owned by the session. Appends until spanCap,
+ *  then becomes a ring overwriting the oldest span. */
 struct ThreadBuf
 {
+    /** Guards spans/next/wrapped: the owning thread appends while a
+     *  live /trace scrape snapshots. Uncontended on the hot path. */
+    std::mutex mu;
     std::uint32_t tid = 0;
     std::vector<HostSpan> spans;
+    /** Next overwrite slot once the ring has filled. */
+    std::size_t next = 0;
+    bool wrapped = false;
 };
 
 struct TraceSession::Impl
@@ -79,6 +91,9 @@ struct TraceSession::Impl
     std::uint64_t epochNs = detail::monotonicNowNs();
     /** CQ_TRACE=0 kill-switch, latched at construction. */
     bool envKilled = false;
+    /** Per-thread ring capacity (CQ_TRACE_CAP; relaxed: a stale read
+     *  merely delays the cap by one span). */
+    std::atomic<std::size_t> spanCap{1000000};
 
     ThreadBuf *registerThread()
     {
@@ -96,6 +111,13 @@ TraceSession::TraceSession()
 {
     if (const char *env = std::getenv("CQ_TRACE"))
         impl_->envKilled = std::strcmp(env, "0") == 0;
+    if (const char *env = std::getenv("CQ_TRACE_CAP")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            impl_->spanCap.store(static_cast<std::size_t>(v),
+                                 std::memory_order_relaxed);
+    }
 }
 
 TraceSession &
@@ -114,6 +136,18 @@ TraceSession::setEnabled(bool on)
     detail::gTraceEnabled.store(on, std::memory_order_relaxed);
 }
 
+std::size_t
+TraceSession::spanCap() const
+{
+    return impl_->spanCap.load(std::memory_order_relaxed);
+}
+
+void
+TraceSession::setSpanCap(std::size_t cap)
+{
+    impl_->spanCap.store(cap, std::memory_order_relaxed);
+}
+
 void
 TraceSession::record(const char *name, std::uint64_t start_ns,
                      std::uint64_t end_ns)
@@ -121,7 +155,26 @@ TraceSession::record(const char *name, std::uint64_t start_ns,
     thread_local ThreadBuf *buf = nullptr;
     if (buf == nullptr)
         buf = impl_->registerThread();
-    buf->spans.push_back(HostSpan{name, start_ns, end_ns});
+    const HostSpan span{name, start_ns, end_ns,
+                        detail::tlsCtxId, detail::tlsStep};
+    const std::size_t cap = impl_->spanCap.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(buf->mu);
+    if (buf->spans.size() < cap) {
+        buf->spans.push_back(span);
+        return;
+    }
+    // Ring full: overwrite the oldest slot and count the loss. The
+    // counter is the only MetricRegistry touch on this path (an
+    // atomic add); tracing stays observation-only.
+    static Counter &dropped =
+        MetricRegistry::instance().counter("obs.trace_dropped");
+    dropped.inc();
+    if (buf->spans.empty())
+        return; // cap 0: record nothing, count everything
+    if (buf->next >= buf->spans.size())
+        buf->next = 0;
+    buf->spans[buf->next++] = span;
+    buf->wrapped = true;
 }
 
 void
@@ -136,8 +189,12 @@ TraceSession::clear()
 {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     // Buffers stay allocated: other threads cache raw pointers.
-    for (auto &buf : impl_->buffers)
+    for (auto &buf : impl_->buffers) {
+        std::lock_guard<std::mutex> bl(buf->mu);
         buf->spans.clear();
+        buf->next = 0;
+        buf->wrapped = false;
+    }
     impl_->external.clear();
     impl_->epochNs = detail::monotonicNowNs();
 }
@@ -148,6 +205,7 @@ TraceSession::spanCount(const char *name_filter) const
     std::lock_guard<std::mutex> lock(impl_->mutex);
     std::size_t n = 0;
     for (const auto &buf : impl_->buffers) {
+        std::lock_guard<std::mutex> bl(buf->mu);
         for (const HostSpan &s : buf->spans) {
             if (name_filter == nullptr ||
                 std::strcmp(s.name, name_filter) == 0)
@@ -160,7 +218,35 @@ TraceSession::spanCount(const char *name_filter) const
 std::string
 TraceSession::chromeTraceJson() const
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return chromeTraceJson(TraceExportFilter{});
+}
+
+std::string
+TraceSession::chromeTraceJson(const TraceExportFilter &filter) const
+{
+    // Snapshot under the locks, serialize unlocked: a live /trace
+    // scrape must not stall recording threads for the (much longer)
+    // JSON-rendering phase. The per-buffer copy is a POD memcpy.
+    struct BufSnap
+    {
+        std::uint32_t tid;
+        std::vector<HostSpan> spans;
+    };
+    std::vector<BufSnap> snaps;
+    std::vector<ExternalSpan> external;
+    std::uint64_t epochNs = 0;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        snaps.reserve(impl_->buffers.size());
+        for (const auto &buf : impl_->buffers) {
+            std::lock_guard<std::mutex> bl(buf->mu);
+            snaps.push_back({buf->tid, buf->spans});
+        }
+        if (!filter.active())
+            external = impl_->external;
+        epochNs = impl_->epochNs;
+    }
+
     std::string out;
     out.reserve(1 << 16);
     out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -171,31 +257,81 @@ TraceSession::chromeTraceJson() const
         first = false;
     };
 
+    // Contexts are resolved once per distinct ctxId; the intern table
+    // has its own mutex, so the copies are taken up front.
+    std::map<std::uint32_t, ObsContext> ctxCache;
+    const auto ctxOf = [&](std::uint32_t id) -> const ObsContext & {
+        auto it = ctxCache.find(id);
+        if (it == ctxCache.end())
+            it = ctxCache.emplace(id, obsContextById(id)).first;
+        return it->second;
+    };
+    const auto keep = [&](const HostSpan &s) {
+        if (filter.sinceNs != 0 && s.endNs < filter.sinceNs)
+            return false;
+        if (!filter.jobId.empty() && ctxOf(s.ctxId).jobId != filter.jobId)
+            return false;
+        return true;
+    };
+
     // Process/thread naming metadata so Perfetto shows labeled tracks.
     comma();
     out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
            "\"tid\":0,\"args\":{\"name\":\"cambricon-q host\"}}";
-    for (const auto &buf : impl_->buffers) {
+    for (const BufSnap &buf : snaps) {
         comma();
         out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
                "\"tid\":";
-        out += std::to_string(buf->tid);
+        out += std::to_string(buf.tid);
         out += ",\"args\":{\"name\":\"host-thread-";
-        out += std::to_string(buf->tid);
+        out += std::to_string(buf.tid);
         out += "\"}}";
     }
 
-    for (const auto &buf : impl_->buffers) {
-        for (const HostSpan &s : buf->spans) {
+    // Chip-attributed spans render in their own process group (pid 3)
+    // with one track per chip, so a --chips run reads as N parallel
+    // timelines in Perfetto.
+    std::map<int, bool> chipTrackNamed;
+    bool chipProcessNamed = false;
+    for (const BufSnap &buf : snaps) {
+        for (const HostSpan &s : buf.spans) {
+            if (!keep(s))
+                continue;
+            const ObsContext &ctx = ctxOf(s.ctxId);
+            const bool chipTrack = ctx.chipId >= 0;
+            if (chipTrack) {
+                if (!chipProcessNamed) {
+                    chipProcessNamed = true;
+                    comma();
+                    out += "{\"name\":\"process_name\",\"ph\":\"M\","
+                           "\"pid\":3,\"tid\":0,\"args\":{\"name\":"
+                           "\"cambricon-q chips\"}}";
+                }
+                if (!chipTrackNamed[ctx.chipId]) {
+                    chipTrackNamed[ctx.chipId] = true;
+                    comma();
+                    out += "{\"name\":\"thread_name\",\"ph\":\"M\","
+                           "\"pid\":3,\"tid\":";
+                    out += std::to_string(ctx.chipId);
+                    out += ",\"args\":{\"name\":\"chip-";
+                    out += std::to_string(ctx.chipId);
+                    out += "\"}}";
+                }
+            }
             comma();
             out += "{\"name\":";
             appendJsonString(out, s.name);
-            out += ",\"cat\":\"host\",\"ph\":\"X\",\"pid\":1,\"tid\":";
-            out += std::to_string(buf->tid);
+            out += ",\"cat\":\"host\",\"ph\":\"X\",\"pid\":";
+            out += chipTrack ? '3' : '1';
+            out += ",\"tid\":";
+            out += std::to_string(chipTrack
+                                      ? static_cast<std::uint32_t>(
+                                            ctx.chipId)
+                                      : buf.tid);
             out += ",\"ts\":";
             const double ts_us =
-                (s.startNs >= impl_->epochNs
-                     ? static_cast<double>(s.startNs - impl_->epochNs)
+                (s.startNs >= epochNs
+                     ? static_cast<double>(s.startNs - epochNs)
                      : 0.0) /
                 1000.0;
             appendJsonFixed(out, ts_us, 3);
@@ -203,13 +339,48 @@ TraceSession::chromeTraceJson() const
             appendJsonFixed(
                 out,
                 static_cast<double>(s.endNs - s.startNs) / 1000.0, 3);
+            if (s.ctxId != 0) {
+                out += ",\"args\":{";
+                bool firstArg = true;
+                const auto arg = [&](const char *k) {
+                    if (!firstArg)
+                        out += ',';
+                    firstArg = false;
+                    out += '"';
+                    out += k;
+                    out += "\":";
+                };
+                if (!ctx.jobId.empty()) {
+                    arg("job");
+                    appendJsonString(out, ctx.jobId);
+                }
+                if (!ctx.tenant.empty()) {
+                    arg("tenant");
+                    appendJsonString(out, ctx.tenant);
+                }
+                if (ctx.chipId >= 0) {
+                    arg("chip");
+                    out += std::to_string(ctx.chipId);
+                }
+                arg("step");
+                out += std::to_string(s.step);
+                out += '}';
+            }
             out += '}';
         }
     }
 
+    if (filter.active()) {
+        // Filtered exports (live /trace slices, per-job files) carry
+        // host spans only: external timelines keep their own time
+        // base and have no job attribution to filter on.
+        out += "]}";
+        return out;
+    }
+
     // External spans: pid 2, one tid per distinct track label.
     std::map<std::string, int> trackTid;
-    for (const ExternalSpan &s : impl_->external) {
+    for (const ExternalSpan &s : external) {
         auto it = trackTid.find(s.track);
         if (it == trackTid.end()) {
             const int tid = static_cast<int>(trackTid.size());
@@ -223,12 +394,12 @@ TraceSession::chromeTraceJson() const
             out += "}}";
         }
     }
-    if (!impl_->external.empty()) {
+    if (!external.empty()) {
         comma();
         out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
                "\"tid\":0,\"args\":{\"name\":\"cambricon-q sim\"}}";
     }
-    for (const ExternalSpan &s : impl_->external) {
+    for (const ExternalSpan &s : external) {
         comma();
         out += "{\"name\":";
         appendJsonString(out, s.name);
@@ -259,9 +430,16 @@ TraceSession::chromeTraceJson() const
 bool
 TraceSession::writeChromeTrace(const std::string &path) const
 {
+    return writeChromeTrace(path, TraceExportFilter{});
+}
+
+bool
+TraceSession::writeChromeTrace(const std::string &path,
+                               const TraceExportFilter &filter) const
+{
     static Counter &errors =
         MetricRegistry::instance().counter("obs.write_errors");
-    const std::string json = chromeTraceJson();
+    const std::string json = chromeTraceJson(filter);
     std::FILE *f = io::fopenFp("obs.trace.open", path, "wb");
     if (f == nullptr) {
         errors.inc();

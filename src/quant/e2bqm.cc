@@ -162,7 +162,10 @@ e2bqmQuantize(const Tensor &x, const E2bqmConfig &config)
 {
     CQ_ASSERT_MSG(!config.candidates.empty(),
                   "E2BQM requires at least one candidate");
-    CQ_TRACE_SCOPE("quant.e2bqm_sweep");
+    // Deliberately span-free: this runs once per *block* (hundreds of
+    // times per training step), so its trace scope lives in the
+    // per-tensor entry points below — micro-spans here would blow the
+    // PERF-07 observability budget without adding signal.
     // Step 1: one-pass statistic over the original data.
     MaxAbsStat stat;
     for (std::size_t i = 0; i < x.numel(); ++i)
@@ -194,6 +197,7 @@ Tensor
 fakeQuantizeE2bqm(const Tensor &x, const E2bqmConfig &config,
                   E2bqmSelectionInfo *info)
 {
+    CQ_TRACE_SCOPE("quant.e2bqm_sweep");
     const E2bqmResult result = e2bqmQuantize(x, config);
     if (info != nullptr)
         ++info->bitsTally[result.best().candidate.bits];
@@ -205,6 +209,7 @@ fakeQuantizeHqt(const Tensor &x, std::size_t block_size,
                 const E2bqmConfig &config, E2bqmSelectionInfo *info)
 {
     CQ_ASSERT(block_size > 0);
+    CQ_TRACE_SCOPE("quant.e2bqm_sweep");
     Tensor out(x.shape());
     const std::size_t n = x.numel();
     const std::size_t nblocks = (n + block_size - 1) / block_size;

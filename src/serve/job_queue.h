@@ -164,6 +164,10 @@ class JobQueue
     std::size_t size() const { return jobs_.size(); }
     bool empty() const { return jobs_.empty(); }
 
+    /** Queued jobs, unordered (the scheduler's /jobs table snapshots
+     *  these under its own lock). */
+    const std::vector<QueuedJob> &jobs() const { return jobs_; }
+
     /** Current congestion signal (what the *next* submit would be
      *  told, capacity permitting). */
     Backpressure backpressure() const;

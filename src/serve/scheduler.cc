@@ -9,8 +9,12 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/fileutil.h"
 #include "common/threadpool.h"
+#include "obs/context.h"
+#include "obs/jsonw.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/job_runner.h"
 
 namespace cq::serve {
@@ -304,6 +308,101 @@ Scheduler::statGroup() const
     return g;
 }
 
+std::size_t
+Scheduler::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::size_t
+Scheduler::runningCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return running_.size();
+}
+
+std::string
+Scheduler::jobsJson() const
+{
+    struct TenantCounts {
+        std::uint64_t queued = 0;
+        std::uint64_t running = 0;
+        std::uint64_t terminal = 0;
+    };
+    std::map<std::string, TenantCounts> tenants;
+    std::string rows;
+    bool firstRow = true;
+    const auto row = [&](const std::string &id,
+                         const std::string &tenant, JobKind kind,
+                         Priority priority, const char *state,
+                         std::uint32_t attempts, std::uint32_t retries,
+                         const std::string &detail) {
+        if (!firstRow)
+            rows += ',';
+        firstRow = false;
+        rows += "{\"id\":";
+        obs::appendJsonString(rows, id);
+        rows += ",\"tenant\":";
+        obs::appendJsonString(rows, tenant);
+        rows += ",\"kind\":\"";
+        rows += jobKindName(kind);
+        rows += "\",\"priority\":\"";
+        rows += priorityName(priority);
+        rows += "\",\"state\":\"";
+        rows += state;
+        rows += "\",\"attempts\":";
+        rows += std::to_string(attempts);
+        rows += ",\"retries\":";
+        rows += std::to_string(retries);
+        if (!detail.empty()) {
+            rows += ",\"detail\":";
+            obs::appendJsonString(rows, detail);
+        }
+        rows += '}';
+    };
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const QueuedJob &j : queue_.jobs()) {
+            ++tenants[j.spec.tenant].queued;
+            row(j.spec.id, j.spec.tenant, j.spec.kind,
+                j.spec.priority, "Queued", j.attempts, j.retries, "");
+        }
+        for (const RunningJob &r : running_) {
+            ++tenants[r.tenant].running;
+            row(r.id, r.tenant, r.kind, r.priority, "Running",
+                r.attempts, r.retries, "");
+        }
+        for (const JobReport &r : reports_) {
+            ++tenants[r.tenant].terminal;
+            row(r.id, r.tenant, r.kind, r.priority,
+                jobStateName(r.state), r.attempts, r.retries,
+                r.detail);
+        }
+    }
+
+    std::string out = "{\"tenants\":{";
+    bool firstTenant = true;
+    for (const auto &kv : tenants) {
+        if (!firstTenant)
+            out += ',';
+        firstTenant = false;
+        obs::appendJsonString(out, kv.first);
+        out += ":{\"queued\":";
+        out += std::to_string(kv.second.queued);
+        out += ",\"running\":";
+        out += std::to_string(kv.second.running);
+        out += ",\"terminal\":";
+        out += std::to_string(kv.second.terminal);
+        out += '}';
+    }
+    out += "},\"jobs\":[";
+    out += rows;
+    out += "]}";
+    return out;
+}
+
 void
 Scheduler::finishLocked(QueuedJob &&job, JobState state,
                         FailureKind failure, const AttemptOutcome &out,
@@ -356,14 +455,14 @@ Scheduler::finishLocked(QueuedJob &&job, JobState state,
         .observe(static_cast<double>(job.queuedNsTotal) / 1e3);
 }
 
-void
+bool
 Scheduler::settleAttemptLocked(QueuedJob &&job,
                                const AttemptOutcome &out)
 {
     if (out.ok) {
         finishLocked(std::move(job), JobState::Completed,
                      FailureKind::None, out, out.detail);
-        return;
+        return true;
     }
     if (out.cancelled) {
         JobState state = JobState::Cancelled;
@@ -371,7 +470,7 @@ Scheduler::settleAttemptLocked(QueuedJob &&job,
             state = JobState::TimedOut;
         finishLocked(std::move(job), state, FailureKind::None, out,
                      out.detail);
-        return;
+        return true;
     }
     const bool retryable = failureIsTransient(out.failure) &&
                            job.attempts <= job.spec.maxRetries &&
@@ -379,7 +478,7 @@ Scheduler::settleAttemptLocked(QueuedJob &&job,
     if (!retryable) {
         finishLocked(std::move(job), JobState::Failed, out.failure,
                      out, out.detail);
-        return;
+        return true;
     }
     ++job.retries;
     ++stats_.retries;
@@ -390,6 +489,25 @@ Scheduler::settleAttemptLocked(QueuedJob &&job,
     job.eligibleAtNs = now + backoffNsFor(job.spec.id, job.retries);
     queue_.requeue(std::move(job));
     wake_.notify_all();
+    return false;
+}
+
+void
+Scheduler::writeJobTrace(const std::string &id) const
+{
+    if (config_.perJobTraceDir.empty() || !obs::traceEnabled())
+        return;
+    ensureDir(config_.perJobTraceDir);
+    // Ids are tenant-supplied; keep the filename on one path level.
+    std::string safe = id;
+    for (char &c : safe)
+        if (c == '/' || c == '\\')
+            c = '_';
+    obs::TraceExportFilter filter;
+    filter.jobId = id;
+    obs::TraceSession::instance().writeChromeTrace(
+        config_.perJobTraceDir + "/trace-job-" + safe + ".json",
+        filter);
 }
 
 void
@@ -445,13 +563,18 @@ Scheduler::workerLoop()
         }
         job.grantedThreads = grant;
         ++job.attempts;
-        running_.push_back({job.spec.id, job.token});
+        running_.push_back({job.spec.id, job.token, job.spec.tenant,
+                            job.spec.kind, job.spec.priority,
+                            job.attempts, job.retries});
 
         lock.unlock();
         AttemptOutcome out;
         bool crashed = false;
         std::string crashWhat;
         try {
+            // Everything the attempt records — spans, telemetry,
+            // pool chunks — carries the job's (id, tenant) labels.
+            obs::ObsContextScope obsCtx(job.spec.id, job.spec.tenant);
             CallerWidthCapScope cap(grant);
             out = runJobAttempt(job.spec, job.token.get(),
                                 job.attempts);
@@ -473,22 +596,33 @@ Scheduler::workerLoop()
                              return r.id == job.spec.id;
                          }));
 
+        const std::string jobId = job.spec.id;
         if (crashed) {
             ++stats_.workerCrashes;
             reg.counter("serve.worker_crashes").inc();
             out = AttemptOutcome{};
             out.failure = FailureKind::WorkerCrash;
             out.detail = crashWhat;
-            settleAttemptLocked(std::move(job), out);
+            const bool terminal =
+                settleAttemptLocked(std::move(job), out);
             // The "crashed" worker exits; spawn its replacement so
             // capacity survives (never while the destructor joins).
             if (!stop_)
                 spawnWorkerLocked();
             idle_.notify_all();
+            if (terminal) {
+                lock.unlock();
+                writeJobTrace(jobId);
+            }
             return;
         }
-        settleAttemptLocked(std::move(job), out);
+        const bool terminal = settleAttemptLocked(std::move(job), out);
         idle_.notify_all();
+        if (terminal) {
+            lock.unlock();
+            writeJobTrace(jobId);
+            lock.lock();
+        }
     }
 }
 

@@ -78,6 +78,11 @@ struct SchedulerConfig
     /** Scales the final backoff (tests compress real time with e.g.
      *  0.01; 0 = retry immediately). */
     double backoffScale = 1.0;
+
+    /** When non-empty (and tracing is on), each job's spans are
+     *  exported to `<dir>/trace-job-<id>.json` at its terminal
+     *  report — the per-job Perfetto view of a multi-tenant run. */
+    std::string perJobTraceDir;
 };
 
 /** Aggregate counters, snapshotted under the scheduler lock. */
@@ -166,11 +171,26 @@ class Scheduler
     /** serve.* counters as a StatGroup (bench/CI export). */
     StatGroup statGroup() const;
 
+    /** @name Live observability snapshots (obs_server providers) */
+    /** @{ */
+    std::size_t queueDepth() const;
+    std::size_t runningCount() const;
+    /** The /jobs table: per-tenant rollup plus one row per known job
+     *  (queued, running, and terminal), as a JSON object. */
+    std::string jobsJson() const;
+    /** @} */
+
   private:
     struct RunningJob
     {
         std::string id;
         std::shared_ptr<CancelToken> token;
+        /** Snapshot for the live /jobs table. */
+        std::string tenant;
+        JobKind kind = JobKind::Train;
+        Priority priority = Priority::Normal;
+        std::uint32_t attempts = 0;
+        std::uint32_t retries = 0;
     };
 
     void workerLoop();
@@ -180,8 +200,10 @@ class Scheduler
                       FailureKind failure, const AttemptOutcome &out,
                       std::string detail);
     /** Route one finished attempt: complete, retry, or dead-letter
-     *  (lock held). */
-    void settleAttemptLocked(QueuedJob &&job, const AttemptOutcome &out);
+     *  (lock held). True when the job reached a terminal report. */
+    bool settleAttemptLocked(QueuedJob &&job, const AttemptOutcome &out);
+    /** Export the job's spans to perJobTraceDir (no lock held). */
+    void writeJobTrace(const std::string &id) const;
     std::uint64_t backoffNsFor(const std::string &id,
                                std::uint32_t retry) const;
 

@@ -11,9 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/fileutil.h"
@@ -24,6 +27,10 @@
 #include "dist/dist_trainer.h"
 #include "dist/interconnect.h"
 #include "nn/guard/shard_manifest.h"
+#include "obs/http_export.h"
+#include "obs/metrics.h"
+#include "obs/obs_server.h"
+#include "obs/trace.h"
 
 namespace cq {
 namespace {
@@ -537,6 +544,65 @@ TEST(DistChaos, TwentyTrialsNoHangsNoLostSteps)
         ASSERT_EQ(r.train.failures.size(), 1u) << "trial " << trial;
         ASSERT_TRUE(r.train.replicasIdentical) << "trial " << trial;
     }
+}
+
+// ------------------------------------------------ live observability
+
+TEST(DistObs, ScrapedRunMatchesDarkRunBitwiseAndEmitsChipTracks)
+{
+    const DistHarnessResult dark =
+        dist::runDistHarness(baseConfig(91, 4, 30));
+    ASSERT_EQ(dark.train.stepsCompleted, 30u);
+    ASSERT_TRUE(dark.train.replicasIdentical);
+
+    auto &session = obs::TraceSession::instance();
+    auto &hist = obs::MetricRegistry::instance().histogram(
+        "dist.allreduce_latency_us");
+    const std::uint64_t histBefore = hist.count();
+    session.clear();
+    session.setEnabled(true);
+    obs::ObsServer server;
+    obs::ObsServerConfig scfg; // ephemeral port
+    ASSERT_TRUE(server.start(scfg));
+    std::atomic<bool> stopScrape{false};
+    std::thread scraper([&] {
+        const char *paths[] = {"/metrics", "/trace?last_ms=50"};
+        int i = 0;
+        while (!stopScrape.load()) {
+            int status = 0;
+            std::string body;
+            obs::httpGet(server.port(), paths[i++ % 2], status, body,
+                         1000);
+            ::usleep(5000);
+        }
+    });
+    const DistHarnessResult lit =
+        dist::runDistHarness(baseConfig(91, 4, 30));
+    stopScrape.store(true);
+    scraper.join();
+    const std::string json = session.chromeTraceJson();
+    session.setEnabled(false);
+    session.clear();
+    server.stop();
+
+    // A run scraped while training computes bitwise the same masters
+    // as the dark one: the obs plane is output-only, even live.
+    EXPECT_EQ(lit.train.mastersCrc, dark.train.mastersCrc);
+    EXPECT_TRUE(lit.train.replicasIdentical);
+    EXPECT_EQ(lit.train.stepsCompleted, 30u);
+
+    // The trace renders the chips as parallel per-chip tracks (pid 3)
+    // with attributed chip-step and all-reduce hop spans.
+    EXPECT_NE(json.find("\"cambricon-q chips\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"name\":\"chip-0\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"name\":\"chip-3\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("dist.allreduce.hop"), std::string::npos);
+    EXPECT_NE(json.find("dist.chip_step"), std::string::npos);
+
+    // And the all-reduce latency histogram observed the run.
+    EXPECT_GT(hist.count(), histBefore);
 }
 
 } // namespace

@@ -13,22 +13,30 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
 #include "arch/accelerator.h"
 #include "arch/trace_export.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/stats.h"
 #include "common/threadpool.h"
 #include "nn/guard/crash_harness.h"
+#include "obs/context.h"
+#include "obs/http_export.h"
 #include "obs/metrics.h"
+#include "obs/obs_server.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "serve/scheduler.h"
 #include "tensor/tensor_ops.h"
 
 using namespace cq;
@@ -608,6 +616,297 @@ TEST(ObsLogging, JsonlSinkReceivesStructuredRecords)
         EXPECT_NE(line.find("\"tid\":"), std::string::npos);
     }
     EXPECT_TRUE(found) << log;
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring cap
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTraceTest, SpanRingCapsMemoryAndCountsDroppedSpans)
+{
+    auto &session = obs::TraceSession::instance();
+    auto &dropped =
+        obs::MetricRegistry::instance().counter("obs.trace_dropped");
+    const std::size_t savedCap = session.spanCap();
+    const double droppedBefore = dropped.value();
+
+    session.setSpanCap(8);
+    for (int i = 0; i < 12; ++i)
+        session.record("ring.old", 1000u + i, 2000u + i);
+    for (int i = 0; i < 8; ++i)
+        session.record("ring.new", 3000u + i, 4000u + i);
+    // The ring holds the cap, the counter books the overflow, and the
+    // *newest* spans survive (the ring overwrites the oldest): every
+    // "ring.old" span has been displaced by a later one.
+    EXPECT_EQ(session.spanCount(), 8u);
+    EXPECT_EQ(session.spanCount("ring.new"), 8u);
+    EXPECT_EQ(session.spanCount("ring.old"), 0u);
+    EXPECT_DOUBLE_EQ(dropped.value() - droppedBefore, 12.0);
+
+    // Cap 0: record nothing, count everything.
+    session.clear();
+    session.setSpanCap(0);
+    const double base = dropped.value();
+    session.record("ring.probe", 1, 2);
+    EXPECT_EQ(session.spanCount("ring.probe"), 0u);
+    EXPECT_DOUBLE_EQ(dropped.value() - base, 1.0);
+
+    session.setSpanCap(savedCap);
+}
+
+// ---------------------------------------------------------------------------
+// ObsContext propagation
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTraceTest, ContextLabelsLandInSpanArgsAcrossPoolChunks)
+{
+    auto &session = obs::TraceSession::instance();
+    {
+        obs::ObsContextScope ctx("job-7", "tenant-x");
+        obs::setObsStep(42);
+        { CQ_TRACE_SCOPE("ctx.direct"); }
+        // Pool workers adopt the caller's frame, so chunk-side spans
+        // carry the same attribution.
+        parallelFor(0, 4, 1, [&](std::size_t, std::size_t) {
+            CQ_TRACE_SCOPE("ctx.chunk");
+        });
+        {
+            // Chip scope inherits job/tenant and adds the chip track.
+            obs::ObsContextScope chip(3);
+            CQ_TRACE_SCOPE("ctx.chip");
+        }
+    }
+    { CQ_TRACE_SCOPE("ctx.outside"); } // restored: no args
+
+    const std::string json = session.chromeTraceJson();
+    // One span event as a substring: from its "name" key to the start
+    // of the next event (span events are adjacent in the array).
+    const auto argsOf = [&](const char *name) {
+        const std::size_t at = json.find(std::string("\"name\":\"") +
+                                         name + "\"");
+        EXPECT_NE(at, std::string::npos) << name << " in " << json;
+        if (at == std::string::npos)
+            return std::string();
+        const std::size_t end = json.find(",{\"name\"", at);
+        return json.substr(at, end == std::string::npos
+                                   ? std::string::npos
+                                   : end - at);
+    };
+    EXPECT_NE(argsOf("ctx.direct").find("\"job\":\"job-7\""),
+              std::string::npos);
+    EXPECT_NE(argsOf("ctx.direct").find("\"tenant\":\"tenant-x\""),
+              std::string::npos);
+    EXPECT_NE(argsOf("ctx.direct").find("\"step\":42"),
+              std::string::npos);
+    EXPECT_NE(argsOf("ctx.chunk").find("\"job\":\"job-7\""),
+              std::string::npos);
+    EXPECT_NE(argsOf("ctx.chip").find("\"chip\":3"),
+              std::string::npos);
+    // Chip spans render on the per-chip process (pid 3, tid = chip).
+    EXPECT_NE(json.find("\"args\":{\"name\":\"chip-3\"}"),
+              std::string::npos);
+    EXPECT_EQ(argsOf("ctx.outside").find("\"job\""),
+              std::string::npos);
+
+    // A jobId filter keeps only the attributed spans.
+    obs::TraceExportFilter filter;
+    filter.jobId = "job-7";
+    const std::string filtered = session.chromeTraceJson(filter);
+    EXPECT_NE(filtered.find("ctx.direct"), std::string::npos);
+    EXPECT_EQ(filtered.find("ctx.outside"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP export plane
+// ---------------------------------------------------------------------------
+
+TEST(ObsHttp, RequestParserHandlesTargetsAndQueries)
+{
+    obs::HttpRequest req;
+    ASSERT_TRUE(obs::parseHttpRequest(
+        "GET /trace?last_ms=250&x=y HTTP/1.1\r\nHost: h\r\n\r\n",
+        req));
+    EXPECT_EQ(req.method, "GET");
+    EXPECT_EQ(req.path, "/trace");
+    EXPECT_EQ(obs::httpQueryParam(req, "last_ms", ""), "250");
+    EXPECT_EQ(obs::httpQueryParam(req, "x", ""), "y");
+    EXPECT_EQ(obs::httpQueryParam(req, "absent", "dflt"), "dflt");
+    EXPECT_FALSE(obs::parseHttpRequest("garbage", req));
+}
+
+TEST(ObsHttp, EndpointsRoundTripOverLoopback)
+{
+    obs::MetricRegistry::instance().counter("obs.test.requests").inc();
+    obs::ObsServerConfig cfg; // port 0 = ephemeral
+    cfg.jobsJson = [] {
+        return std::string("{\"jobs\":[{\"id\":\"probe\"}]}");
+    };
+    cfg.health.emplace_back(
+        "probe", [] { return std::string("{\"alive\":true}"); });
+    StatGroup bridgedGroup;
+    bridgedGroup.add("bridge.value", 7);
+    cfg.bridged = [&] {
+        std::vector<StatGroup> v;
+        v.push_back(bridgedGroup);
+        return v;
+    };
+    obs::ObsServer server;
+    ASSERT_TRUE(server.start(cfg));
+    ASSERT_GT(server.port(), 0);
+
+    int status = 0;
+    std::string body;
+    ASSERT_TRUE(
+        obs::httpGet(server.port(), "/metrics", status, body));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("cq_obs_test_requests"), std::string::npos);
+    EXPECT_NE(body.find("cq_bridge_value 7"), std::string::npos);
+
+    ASSERT_TRUE(
+        obs::httpGet(server.port(), "/metrics.json", status, body));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"counters\""), std::string::npos);
+
+    ASSERT_TRUE(
+        obs::httpGet(server.port(), "/healthz", status, body));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+    EXPECT_NE(body.find("\"probe\":{\"alive\":true}"),
+              std::string::npos);
+
+    ASSERT_TRUE(obs::httpGet(server.port(), "/jobs", status, body));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"id\":\"probe\""), std::string::npos);
+
+    ASSERT_TRUE(
+        obs::httpGet(server.port(), "/trace?last_ms=0", status, body));
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+
+    ASSERT_TRUE(obs::httpGet(server.port(), "/trace?last_ms=junk",
+                             status, body));
+    EXPECT_EQ(status, 400);
+
+    ASSERT_TRUE(obs::httpGet(server.port(), "/nope", status, body));
+    EXPECT_EQ(status, 404);
+
+    EXPECT_GE(server.requestsServed(), 7u);
+    EXPECT_FALSE(server.degraded());
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(ObsHttp, InjectedFailureLatchesDegradedDropModeNotACrash)
+{
+    std::string err;
+    ASSERT_TRUE(fp::Registry::instance().configureOne(
+        "obs.http.write", "fail,once=1", &err))
+        << err;
+    obs::ObsServerConfig cfg;
+    obs::ObsServer server;
+    ASSERT_TRUE(server.start(cfg));
+
+    int status = 0;
+    std::string body;
+    // First scrape trips the armed write; the server latches degraded
+    // drop mode instead of erroring out.
+    obs::httpGet(server.port(), "/metrics", status, body, 2000);
+    // Every later connection is accepted and dropped, typed and
+    // counted — never a hang, never a crash.
+    EXPECT_FALSE(
+        obs::httpGet(server.port(), "/metrics", status, body, 2000));
+    EXPECT_TRUE(server.degraded());
+    EXPECT_GE(server.connectionsDropped(), 1u);
+    server.stop();
+    fp::Registry::instance().disarmAll();
+}
+
+// ---------------------------------------------------------------------------
+// Scraped-vs-dark bitwise identity through the serve plane
+// ---------------------------------------------------------------------------
+
+TEST(ObsServe, ScrapedServeRunMatchesDarkRunBitwise)
+{
+    const auto runTrial =
+        [](bool scraped, const std::string &traceDir) {
+            serve::SchedulerConfig cfg;
+            cfg.workers = 2;
+            cfg.queue.capacity = 8;
+            cfg.backoffScale = 0.01;
+            cfg.perJobTraceDir = traceDir;
+            if (scraped)
+                obs::TraceSession::instance().setEnabled(true);
+            serve::Scheduler sched(cfg);
+
+            obs::ObsServer server;
+            std::atomic<bool> stopScrape{false};
+            std::thread scraper;
+            if (scraped) {
+                obs::ObsServerConfig scfg;
+                scfg.bridged = [&sched] {
+                    std::vector<StatGroup> v;
+                    v.push_back(sched.statGroup());
+                    return v;
+                };
+                scfg.jobsJson = [&sched] { return sched.jobsJson(); };
+                EXPECT_TRUE(server.start(scfg));
+                scraper = std::thread([&] {
+                    const char *paths[] = {"/metrics", "/jobs",
+                                           "/trace?last_ms=50"};
+                    int i = 0;
+                    while (!stopScrape.load()) {
+                        int status = 0;
+                        std::string body;
+                        obs::httpGet(server.port(), paths[i++ % 3],
+                                     status, body, 1000);
+                        ::usleep(5000);
+                    }
+                });
+            }
+
+            for (int j = 0; j < 3; ++j) {
+                serve::JobSpec spec;
+                spec.id = "obs-job-" + std::to_string(j);
+                spec.tenant = j % 2 == 0 ? "even" : "odd";
+                spec.seed = 100 + j;
+                spec.steps = 12;
+                EXPECT_TRUE(serve::admissionAccepted(
+                    sched.submit(spec).verdict));
+            }
+            EXPECT_TRUE(sched.waitIdle(60000));
+            if (scraped) {
+                stopScrape.store(true);
+                scraper.join();
+                server.stop();
+                obs::TraceSession::instance().setEnabled(false);
+                obs::TraceSession::instance().clear();
+            }
+            std::map<std::string, std::uint32_t> crcs;
+            for (const serve::JobReport &r : sched.reports()) {
+                EXPECT_EQ(r.state, serve::JobState::Completed);
+                crcs[r.id] = r.resultCrc;
+            }
+            return crcs;
+        };
+
+    const std::string traceDir =
+        ::testing::TempDir() + "obs_serve_traces";
+    for (int j = 0; j < 3; ++j)
+        std::remove((traceDir + "/trace-job-obs-job-" +
+                     std::to_string(j) + ".json")
+                        .c_str());
+    const auto dark = runTrial(false, "");
+    const auto lit = runTrial(true, traceDir);
+    ASSERT_EQ(dark.size(), 3u);
+    EXPECT_EQ(dark, lit);
+
+    // Per-job trace files: written at terminal settle, filtered to
+    // that job's spans only.
+    const std::string t0 = slurp(traceDir + "/trace-job-obs-job-0.json");
+    ASSERT_FALSE(t0.empty());
+    EXPECT_NE(t0.find("\"job\":\"obs-job-0\""), std::string::npos);
+    EXPECT_EQ(t0.find("\"job\":\"obs-job-1\""), std::string::npos);
+    EXPECT_NE(t0.find("\"tenant\":\"even\""), std::string::npos);
 }
 
 } // namespace

@@ -42,11 +42,13 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <signal.h>
@@ -64,6 +66,8 @@
 #include "harness/export.h"
 #include "nn/guard/ckpt_store.h"
 #include "nn/guard/crash_harness.h"
+#include "obs/http_export.h"
+#include "obs/obs_server.h"
 #include "serve/job_runner.h"
 #include "serve/report.h"
 
@@ -233,13 +237,31 @@ runCkptScenario(const std::string &dir, const std::vector<Arm> &arms,
     return storeStillLoads(cfg.dir) ? kHandled : kInvariantViolation;
 }
 
-/** Single leg with every observability output on; an obs failure must
- *  never stop training. */
+/** Single leg with every observability output on — including a live
+ *  ObsServer being scraped from a sidecar thread, so the obs.http.*
+ *  sites evaluate; an obs failure must never stop training. */
 int
 runObsScenario(const std::string &dir, const std::vector<Arm> &arms,
                CancelToken &cancel)
 {
     armAll(arms);
+
+    obs::ObsServer server;
+    obs::ObsServerConfig scfg; // port 0 = ephemeral
+    const bool serverUp = server.start(scfg);
+    std::atomic<bool> stopScrape{false};
+    std::thread scraper([&] {
+        while (serverUp && !stopScrape.load()) {
+            int status = 0;
+            std::string body;
+            // An armed obs.http.* site turns these into dropped
+            // connections; the scraper must simply shrug.
+            obs::httpGet(server.port(), "/metrics", status, body,
+                         500);
+            ::usleep(2000);
+        }
+    });
+
     nn::guard::CrashHarnessConfig cfg;
     cfg.seed = 23;
     cfg.steps = 8;
@@ -250,6 +272,19 @@ runObsScenario(const std::string &dir, const std::vector<Arm> &arms,
     cfg.metricsOut = dir + "/metrics.prom";
     cfg.metricsEvery = 2;
     const auto r = nn::guard::runCrashHarness(cfg);
+
+    // One guaranteed scrape after the leg, so obs.http.accept /
+    // obs.http.write are evaluated even on a machine where the leg
+    // outruns the sidecar's first connect.
+    if (serverUp) {
+        int status = 0;
+        std::string body;
+        obs::httpGet(server.port(), "/healthz", status, body, 500);
+    }
+    stopScrape.store(true);
+    scraper.join();
+    server.stop();
+
     return (!r.cancelled && r.stepsRun == cfg.steps)
                ? kHandled
                : kInvariantViolation;
@@ -562,8 +597,9 @@ void
 modeObsIdentity(const Options &opt, Tally &tally)
 {
     // Invariant: observability is output-only. A run whose every obs
-    // sink failpoint fires (persistently!) must train bitwise
-    // identically to a dark run.
+    // sink failpoint fires (persistently!) — while a live ObsServer
+    // is being scraped — must train bitwise identically to a dark
+    // run.
     const auto leg = [&](const std::string &dir, bool lit,
                          std::uint32_t &crcOut) -> bool {
         const std::string crcPath = dir + "/crc.txt";
@@ -577,6 +613,9 @@ modeObsIdentity(const Options &opt, Tally &tally)
             cfg.seed = 29;
             cfg.steps = 10;
             cfg.batchSize = 16;
+            obs::ObsServer server;
+            std::atomic<bool> stopScrape{false};
+            std::thread scraper;
             if (lit) {
                 fp::Registry::instance().setTrace(true);
                 for (const std::string &s :
@@ -587,8 +626,24 @@ modeObsIdentity(const Options &opt, Tally &tally)
                 cfg.traceOut = dir + "/trace.json";
                 cfg.metricsOut = dir + "/metrics.prom";
                 cfg.metricsEvery = 2;
+                obs::ObsServerConfig scfg; // ephemeral port
+                if (server.start(scfg)) {
+                    scraper = std::thread([&] {
+                        while (!stopScrape.load()) {
+                            int status = 0;
+                            std::string body;
+                            obs::httpGet(server.port(), "/metrics",
+                                         status, body, 500);
+                            ::usleep(2000);
+                        }
+                    });
+                }
             }
             const auto r = nn::guard::runCrashHarness(cfg);
+            stopScrape.store(true);
+            if (scraper.joinable())
+                scraper.join();
+            server.stop();
             std::FILE *f = std::fopen(crcPath.c_str(), "w");
             if (f == nullptr)
                 std::exit(kInvariantViolation);

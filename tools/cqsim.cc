@@ -51,7 +51,9 @@
 #include "common/json.h"
 #include "dist/dist_harness.h"
 #include "nn/guard/crash_harness.h"
+#include "obs/jsonw.h"
 #include "obs/metrics.h"
+#include "obs/obs_server.h"
 #include "obs/trace.h"
 #include "serve/report.h"
 #include "serve/scheduler.h"
@@ -86,6 +88,12 @@ printUsage(std::FILE *to)
         "             [--serve-queue-cap N] [--serve-report F]\n"
         "observability (all modes):\n"
         "             [--trace-out F] [--metrics-out F]\n"
+        "             [--obs-port P]       live scrape endpoint on "
+        "127.0.0.1:P (0 = ephemeral);\n"
+        "                                  serves /metrics "
+        "/metrics.json /healthz /jobs /trace\n"
+        "             [--job-trace-dir D]  (--serve) per-job Perfetto "
+        "traces in D\n"
         "fault injection (all modes):\n"
         "             [--failpoints SPEC]   "
         "e.g. \"ckpt.body.write=enospc,once=1\"\n"
@@ -133,6 +141,70 @@ struct TrainArgs
     std::string straggler; // "C@S": chip C straggles from step S
 };
 
+/** The live observability plane (--obs-port). */
+struct ObsPlaneArgs
+{
+    /** -1 = off; 0 = ephemeral (the bound port is printed). */
+    int port = -1;
+    /** --serve only: per-job trace file directory. */
+    std::string jobTraceDir;
+
+    bool enabled() const { return port >= 0; }
+};
+
+/**
+ * Pre-create the stable metric families, so a scrape that arrives
+ * before the first training step already sees every series a
+ * dashboard would alert on (Prometheus treats a missing series as
+ * "no data", not zero).
+ */
+void
+touchScrapeFamilies()
+{
+    auto &reg = obs::MetricRegistry::instance();
+    reg.counter("trainer.steps");
+    reg.gauge("trainer.loss");
+    reg.histogram("trainer.step_time_us");
+    reg.histogram("dist.allreduce_latency_us");
+    reg.counter("serve.submitted");
+    reg.counter("serve.accepted");
+    reg.counter("serve.completed");
+}
+
+/** Start the scrape server; prints the bound port (tests and the CI
+ *  observability job parse the "obs:" line). */
+bool
+startObsServer(obs::ObsServer &server, obs::ObsServerConfig cfg,
+               int port)
+{
+    touchScrapeFamilies();
+    cfg.port = port;
+    if (!server.start(std::move(cfg))) {
+        std::fprintf(stderr, "cqsim: --obs-port %d unavailable\n",
+                     port);
+        return false;
+    }
+    std::printf("obs:       serving on port %d (/metrics "
+                "/metrics.json /healthz /jobs /trace)\n",
+                server.port());
+    std::fflush(stdout);
+    return true;
+}
+
+/** /healthz component reading the trainer.* registry families. */
+std::string
+trainerHealthJson()
+{
+    auto &reg = obs::MetricRegistry::instance();
+    std::string out = "{\"steps\":";
+    out += std::to_string(static_cast<std::uint64_t>(
+        reg.counter("trainer.steps").value()));
+    out += ",\"loss\":";
+    obs::appendJsonNumber(out, reg.gauge("trainer.loss").value());
+    out += '}';
+    return out;
+}
+
 /** Parse a "C@S" planned-fault spec (chip index @ global step). */
 bool
 parseChipAtStep(const std::string &flag, const std::string &text,
@@ -164,7 +236,8 @@ parseChipAtStep(const std::string &flag, const std::string &text,
 /** The --train ... --chips N leg: N-chip data-parallel training with
  *  LDQ-quantized ring all-reduce and optional planned chip faults. */
 int
-runTrainDist(const TrainArgs &a)
+runTrainDist(const TrainArgs &a, const std::string &traceOut,
+             const std::string &metricsOut, const ObsPlaneArgs &obsArgs)
 {
     dist::DistHarnessConfig cfg;
     cfg.seed = a.seed;
@@ -192,6 +265,33 @@ runTrainDist(const TrainArgs &a)
                              chip, step))
             return 2;
         cfg.faults[chip].stragglerFromStep = step;
+    }
+
+    // Tracing feeds both --trace-out and the live /trace endpoint;
+    // per-chip contexts land the spans on pid-3 "chip-N" tracks.
+    if (!traceOut.empty() || obsArgs.enabled())
+        obs::TraceSession::instance().setEnabled(true);
+    obs::ObsServer obsServer;
+    if (obsArgs.enabled()) {
+        obs::ObsServerConfig ocfg;
+        const std::size_t chipsTotal =
+            static_cast<std::size_t>(a.chips);
+        ocfg.health.emplace_back("trainer", trainerHealthJson);
+        ocfg.health.emplace_back("dist", [chipsTotal] {
+            auto &reg = obs::MetricRegistry::instance();
+            std::string out = "{\"chips_alive\":";
+            out += std::to_string(static_cast<std::uint64_t>(
+                reg.gauge("dist.chips_alive").value()));
+            out += ",\"chips_total\":";
+            out += std::to_string(chipsTotal);
+            out += ",\"step\":";
+            out += std::to_string(static_cast<std::uint64_t>(
+                reg.gauge("dist.step").value()));
+            out += '}';
+            return out;
+        });
+        if (!startObsServer(obsServer, std::move(ocfg), obsArgs.port))
+            return 2;
     }
 
     std::printf("dist:      spiral MLP on %llu chips, steps %llu, "
@@ -251,6 +351,17 @@ runTrainDist(const TrainArgs &a)
                 t.simUs / 1000.0);
     std::printf("accuracy:  %.4f on the held-out spiral set\n",
                 r.accuracy);
+
+    obsServer.stop();
+    if (!traceOut.empty()) {
+        if (obs::TraceSession::instance().writeChromeTrace(traceOut))
+            std::printf("trace:     %s (chrome://tracing, per-chip "
+                        "tracks)\n",
+                        traceOut.c_str());
+    }
+    if (!metricsOut.empty())
+        obs::MetricRegistry::instance().writeProm(metricsOut, {});
+
     if (!t.replicasIdentical)
         return 1;
     return t.survivors > 0 ? 0 : 1;
@@ -258,7 +369,7 @@ runTrainDist(const TrainArgs &a)
 
 int
 runTrain(const TrainArgs &a, const std::string &traceOut,
-         const std::string &metricsOut)
+         const std::string &metricsOut, const ObsPlaneArgs &obsArgs)
 {
     if (a.task != "spiral") {
         std::fprintf(stderr,
@@ -268,19 +379,22 @@ runTrain(const TrainArgs &a, const std::string &traceOut,
         return 2;
     }
     if (a.chips >= 2)
-        return runTrainDist(a);
+        return runTrainDist(a, traceOut, metricsOut, obsArgs);
     if (!a.chipFail.empty() || !a.straggler.empty()) {
         std::fprintf(stderr, "cqsim: --chip-fail/--straggler need "
                              "--chips >= 2\n");
         return 2;
     }
+    // A live scrape port counts as an output: the run is observable
+    // even if nothing lands on disk.
     if (a.ckptDir.empty() && a.resumeDir.empty() &&
         a.mastersOut.empty() && traceOut.empty() &&
-        metricsOut.empty() && a.telemetryOut.empty()) {
+        metricsOut.empty() && a.telemetryOut.empty() &&
+        !obsArgs.enabled()) {
         std::fprintf(stderr,
                      "cqsim: --train needs --ckpt-dir, --resume, "
-                     "--masters-out or an observability output "
-                     "(nothing would be persisted)\n");
+                     "--masters-out, --obs-port or an observability "
+                     "output (nothing would be persisted)\n");
         return 2;
     }
 
@@ -304,6 +418,19 @@ runTrain(const TrainArgs &a, const std::string &traceOut,
     cfg.metricsEvery = a.metricsEvery;
 
     installShutdownSignalHandler();
+
+    if (obsArgs.enabled())
+        obs::TraceSession::instance().setEnabled(true);
+    obs::ObsServer obsServer;
+    if (obsArgs.enabled()) {
+        obs::ObsServerConfig ocfg;
+        // Train-mode /metrics exposes the typed registry families
+        // only: the trainer's StatGroups are not thread-safe to
+        // snapshot mid-run, so they stay in the end-of-run dumps.
+        ocfg.health.emplace_back("trainer", trainerHealthJson);
+        if (!startObsServer(obsServer, std::move(ocfg), obsArgs.port))
+            return 2;
+    }
 
     std::printf("train:     spiral MLP, steps %llu, seed %llu\n",
                 static_cast<unsigned long long>(a.steps),
@@ -412,7 +539,8 @@ parseServeJob(const json::Value &v, serve::JobSpec &spec,
 }
 
 int
-runServe(const ServeArgs &a, const std::string &metricsOut)
+runServe(const ServeArgs &a, const std::string &metricsOut,
+         const ObsPlaneArgs &obsArgs)
 {
     const json::ParseResult parsed = json::parseFile(a.jobsPath);
     if (!parsed.ok) {
@@ -453,9 +581,43 @@ runServe(const ServeArgs &a, const std::string &metricsOut)
         cfg.workers = static_cast<unsigned>(a.workers);
     if (a.queueCap > 0)
         cfg.queue.capacity = static_cast<std::size_t>(a.queueCap);
+    cfg.perJobTraceDir = obsArgs.jobTraceDir;
+    if (!obsArgs.jobTraceDir.empty() || obsArgs.enabled())
+        obs::TraceSession::instance().setEnabled(true);
 
     installShutdownSignalHandler();
     serve::Scheduler sched(cfg);
+
+    obs::ObsServer obsServer;
+    if (obsArgs.enabled()) {
+        obs::ObsServerConfig ocfg;
+        // Scheduler::statGroup() snapshots under the scheduler lock
+        // and returns by value, so bridging it into a live scrape is
+        // safe from the server thread.
+        ocfg.bridged = [&sched] {
+            std::vector<StatGroup> v;
+            v.push_back(sched.statGroup());
+            return v;
+        };
+        ocfg.jobsJson = [&sched] { return sched.jobsJson(); };
+        ocfg.health.emplace_back("serve", [&sched] {
+            const serve::SchedulerStats s = sched.stats();
+            std::string out = "{\"queued\":";
+            out += std::to_string(sched.queueDepth());
+            out += ",\"running\":";
+            out += std::to_string(sched.runningCount());
+            out += ",\"accepted\":";
+            out += std::to_string(s.accepted);
+            out += ",\"terminal\":";
+            out += std::to_string(s.terminal());
+            out += ",\"draining\":";
+            out += sched.draining() ? "true" : "false";
+            out += "}";
+            return out;
+        });
+        if (!startObsServer(obsServer, std::move(ocfg), obsArgs.port))
+            return 2;
+    }
     std::printf("serve:     %zu jobs, %u workers, queue capacity "
                 "%zu\n",
                 jobs->size(), sched.config().workers,
@@ -490,6 +652,8 @@ runServe(const ServeArgs &a, const std::string &metricsOut)
             sched.requestDrain();
         }
     }
+
+    obsServer.stop();
 
     for (const serve::JobReport &r : sched.reports()) {
         std::printf("job:       %-20s %-10s attempts %u, crc %08x, "
@@ -588,6 +752,7 @@ main(int argc, char **argv)
     std::size_t batch = 0, disasm = 0;
     bool stats = false, trace = false;
     std::string traceOut, metricsOut;
+    ObsPlaneArgs obsArgs;
     TrainArgs train;
     ServeArgs serveArgs;
 
@@ -669,6 +834,11 @@ main(int argc, char **argv)
             train.chipFail = next();
         else if (arg == "--straggler")
             train.straggler = next();
+        else if (arg == "--obs-port")
+            obsArgs.port =
+                static_cast<int>(parseU64(arg, next(), 0, 65535));
+        else if (arg == "--job-trace-dir")
+            obsArgs.jobTraceDir = next();
         else if (arg == "--help" || arg == "-h") {
             printUsage(stdout);
             return 0;
@@ -690,9 +860,9 @@ main(int argc, char **argv)
         return 2;
     }
     if (!train.task.empty())
-        return runTrain(train, traceOut, metricsOut);
+        return runTrain(train, traceOut, metricsOut, obsArgs);
     if (!serveArgs.jobsPath.empty())
-        return runServe(serveArgs, metricsOut);
+        return runServe(serveArgs, metricsOut, obsArgs);
 
     const compiler::WorkloadIR ir =
         gemm.empty() ? pickWorkload(network, batch)
